@@ -1,0 +1,217 @@
+// Command goalcert empirically certifies the semantic properties the
+// theory's Theorem 1 assumes: helpfulness of each server in a class, and
+// safety and viability of a goal's stock sensing function.
+//
+// Usage:
+//
+//	goalcert -goal printing -class 8
+//	goalcert -goal treasure -class 16
+//	goalcert -goal transfer -class 6
+//
+// For each goal it builds the standard server class (plus known-unhelpful
+// probes: an obstinate server and, where defined, a lying one), reports
+// which servers are certified helpful with a witness candidate, and checks
+// the sensing function's safety and viability against the class.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/enumerate"
+	"repro/internal/goal"
+	"repro/internal/goals/control"
+	"repro/internal/goals/printing"
+	"repro/internal/goals/transfer"
+	"repro/internal/goals/treasure"
+	"repro/internal/harness"
+	"repro/internal/sensing"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "goalcert:", err)
+		os.Exit(1)
+	}
+}
+
+// bundle is everything certification needs about one goal.
+type bundle struct {
+	goal    goal.CompactGoal
+	enum    enumerate.Enumerator
+	mkSense func() sensing.Sense
+	// servers are the class members; probes are known-unhelpful
+	// strategies that must NOT certify as helpful.
+	servers []func() comm.Strategy
+	probes  map[string]func() comm.Strategy
+}
+
+func buildBundle(goalName string, classSize int) (*bundle, error) {
+	switch goalName {
+	case "printing":
+		fam, err := dialect.NewWordFamily(printing.Vocabulary(), classSize)
+		if err != nil {
+			return nil, err
+		}
+		b := &bundle{
+			goal:    &printing.Goal{Docs: []string{"doc"}},
+			enum:    printing.Enum(fam),
+			mkSense: func() sensing.Sense { return printing.Sense(0) },
+			probes: map[string]func() comm.Strategy{
+				"obstinate": server.Obstinate,
+				"lying":     func() comm.Strategy { return &printing.LyingServer{} },
+			},
+		}
+		for i := 0; i < classSize; i++ {
+			d := fam.Dialect(i)
+			b.servers = append(b.servers, func() comm.Strategy {
+				return server.Dialected(&printing.Server{}, d)
+			})
+		}
+		return b, nil
+	case "treasure":
+		b := &bundle{
+			goal:    &treasure.Goal{},
+			enum:    treasure.Enum(classSize),
+			mkSense: func() sensing.Sense { return treasure.Sense(0) },
+			probes: map[string]func() comm.Strategy{
+				"obstinate": server.Obstinate,
+			},
+		}
+		cls := treasure.Class(classSize)
+		for i := 0; i < classSize; i++ {
+			i := i
+			b.servers = append(b.servers, func() comm.Strategy { return cls.New(i) })
+		}
+		return b, nil
+	case "transfer":
+		fam, err := dialect.NewWordFamily(transfer.Vocabulary(), classSize)
+		if err != nil {
+			return nil, err
+		}
+		b := &bundle{
+			goal:    &transfer.Goal{K: 4},
+			enum:    transfer.Enum(fam),
+			mkSense: func() sensing.Sense { return transfer.Sense(0) },
+			probes: map[string]func() comm.Strategy{
+				"obstinate": server.Obstinate,
+			},
+		}
+		for i := 0; i < classSize; i++ {
+			d := fam.Dialect(i)
+			b.servers = append(b.servers, func() comm.Strategy {
+				return server.Dialected(&transfer.Server{}, d)
+			})
+		}
+		return b, nil
+	case "control":
+		fam, err := control.NewUnitsFamily(classSize)
+		if err != nil {
+			return nil, err
+		}
+		b := &bundle{
+			goal:    &control.Goal{Span: 20},
+			enum:    control.Enum(fam),
+			mkSense: func() sensing.Sense { return control.Sense(0) },
+			probes: map[string]func() comm.Strategy{
+				"obstinate": server.Obstinate,
+			},
+		}
+		for i := 0; i < classSize; i++ {
+			d := fam.Dialect(i)
+			b.servers = append(b.servers, func() comm.Strategy {
+				return server.Dialected(&control.Server{}, d)
+			})
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("unknown goal %q (printing, treasure, transfer, control)", goalName)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("goalcert", flag.ContinueOnError)
+	var (
+		goalName  = fs.String("goal", "printing", "goal to certify: printing, treasure, transfer, control")
+		classSize = fs.Int("class", 8, "server class size")
+		rounds    = fs.Int("rounds", 0, "horizon per certification run (0 = 60 × class size)")
+		seed      = fs.Uint64("seed", 1, "root random seed")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *classSize < 1 {
+		return fmt.Errorf("class size must be positive, got %d", *classSize)
+	}
+
+	b, err := buildBundle(*goalName, *classSize)
+	if err != nil {
+		return err
+	}
+	horizon := *rounds
+	if horizon <= 0 {
+		horizon = 60 * *classSize
+	}
+	cfg := harness.CertConfig{MaxRounds: horizon, Seed: *seed, Envs: 1}
+
+	// 1. Helpfulness of every class member and every probe.
+	tbl := &harness.Table{
+		ID:      "CERT",
+		Title:   fmt.Sprintf("helpfulness for goal %q (class size %d, horizon %d)", *goalName, *classSize, horizon),
+		Columns: []string{"server", "helpful", "witness candidate"},
+	}
+	for i, mk := range b.servers {
+		ok, witness := harness.HelpfulCompact(b.goal, mk, b.enum, cfg)
+		w := "-"
+		if ok {
+			w = harness.I(witness)
+		}
+		tbl.AddRow(fmt.Sprintf("class[%d]", i), yesNo(ok), w)
+	}
+	for name, mk := range b.probes {
+		ok, _ := harness.HelpfulCompact(b.goal, mk, b.enum, cfg)
+		tbl.AddRow("probe:"+name, yesNo(ok), "-")
+		if ok {
+			return fmt.Errorf("probe %q wrongly certified helpful", name)
+		}
+	}
+	if err := tbl.Render(stdout); err != nil {
+		return err
+	}
+
+	// 2. Safety against class ∪ probes; viability against the class.
+	all := append([]func() comm.Strategy{}, b.servers...)
+	for _, mk := range b.probes {
+		all = append(all, mk)
+	}
+	safety := harness.CertifySafetyCompact(b.goal, b.mkSense, b.enum, all, cfg)
+	viability := harness.CertifyViabilityCompact(b.goal, b.mkSense, b.enum, b.servers, cfg)
+
+	fmt.Fprintf(stdout, "\nsensing safety violations:    %d\n", len(safety))
+	for _, v := range safety {
+		fmt.Fprintln(stdout, " ", v)
+	}
+	fmt.Fprintf(stdout, "sensing viability violations: %d\n", len(viability))
+	for _, v := range viability {
+		fmt.Fprintln(stdout, " ", v)
+	}
+	if len(safety)+len(viability) > 0 {
+		return fmt.Errorf("certification failed: %d safety, %d viability violations",
+			len(safety), len(viability))
+	}
+	fmt.Fprintln(stdout, "\ncertified: sensing is safe and viable — Theorem 1 applies to this goal and class")
+	return nil
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

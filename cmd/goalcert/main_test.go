@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCertifyPrinting(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-goal", "printing", "-class", "4"}, &b); err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"class[0]", "probe:obstinate", "certified"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "probe:obstinate  yes") {
+		t.Fatal("obstinate probe certified helpful")
+	}
+}
+
+func TestCertifyTreasure(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-goal", "treasure", "-class", "6"}, &b); err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "certified") {
+		t.Fatalf("treasure not certified:\n%s", b.String())
+	}
+}
+
+func TestCertifyTransfer(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-goal", "transfer", "-class", "4"}, &b); err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "certified") {
+		t.Fatalf("transfer not certified:\n%s", b.String())
+	}
+}
+
+func TestCertifyUnknownGoal(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-goal", "nosuch"}, &b); err == nil {
+		t.Fatal("unknown goal accepted")
+	}
+}
+
+func TestCertifyBadClassSize(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-class", "0"}, &b); err == nil {
+		t.Fatal("class size 0 accepted")
+	}
+}
+
+func TestWitnessMatchesServerIndex(t *testing.T) {
+	t.Parallel()
+
+	// For dialect classes, the witness candidate for class[i] is i.
+	var b strings.Builder
+	if err := run([]string{"-goal", "printing", "-class", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		want := "class[" + string(rune('0'+i)) + "]"
+		found := false
+		for _, line := range strings.Split(b.String(), "\n") {
+			if strings.Contains(line, want) && strings.Contains(line, "yes") {
+				fields := strings.Fields(line)
+				if fields[len(fields)-1] == string(rune('0'+i)) {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("witness for %s wrong:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestCertifyControl(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-goal", "control", "-class", "5", "-rounds", "400"}, &b); err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "certified") {
+		t.Fatalf("control not certified:\n%s", b.String())
+	}
+}

@@ -1,0 +1,186 @@
+// Command goalrun executes a single goal-oriented scenario and reports the
+// outcome, optionally dumping a replayable JSON trace of the execution.
+//
+// Usage:
+//
+//	goalrun -goal printing -class 8 -server 3 -user universal
+//	goalrun -goal treasure -class 16 -server 9 -user fixed
+//	goalrun -goal transfer -class 6 -server 5 -trace run.json
+//
+// Users: universal (enumeration + sensing), oracle (told the server's
+// index), fixed (always candidate 0).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/enumerate"
+	"repro/internal/goal"
+	"repro/internal/goals/control"
+	"repro/internal/goals/printing"
+	"repro/internal/goals/transfer"
+	"repro/internal/goals/treasure"
+	"repro/internal/sensing"
+	"repro/internal/server"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/universal"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "goalrun:", err)
+		os.Exit(1)
+	}
+}
+
+// scenario bundles one goal's cast for the CLI.
+type scenario struct {
+	goal     goal.CompactGoal
+	enum     enumerate.Enumerator
+	sense    sensing.Sense
+	mkServer func(i int) comm.Strategy
+}
+
+func buildScenario(goalName string, classSize int) (*scenario, error) {
+	switch goalName {
+	case "printing":
+		fam, err := dialect.NewWordFamily(printing.Vocabulary(), classSize)
+		if err != nil {
+			return nil, err
+		}
+		return &scenario{
+			goal:  &printing.Goal{},
+			enum:  printing.Enum(fam),
+			sense: printing.Sense(0),
+			mkServer: func(i int) comm.Strategy {
+				return server.Dialected(&printing.Server{}, fam.Dialect(i))
+			},
+		}, nil
+	case "treasure":
+		return &scenario{
+			goal:  &treasure.Goal{},
+			enum:  treasure.Enum(classSize),
+			sense: treasure.Sense(0),
+			mkServer: func(i int) comm.Strategy {
+				return &treasure.Server{Secret: i}
+			},
+		}, nil
+	case "transfer":
+		fam, err := dialect.NewWordFamily(transfer.Vocabulary(), classSize)
+		if err != nil {
+			return nil, err
+		}
+		return &scenario{
+			goal:  &transfer.Goal{},
+			enum:  transfer.Enum(fam),
+			sense: transfer.Sense(0),
+			mkServer: func(i int) comm.Strategy {
+				return server.Dialected(&transfer.Server{}, fam.Dialect(i))
+			},
+		}, nil
+	case "control":
+		fam, err := control.NewUnitsFamily(classSize)
+		if err != nil {
+			return nil, err
+		}
+		return &scenario{
+			goal:  &control.Goal{},
+			enum:  control.Enum(fam),
+			sense: control.Sense(0),
+			mkServer: func(i int) comm.Strategy {
+				return server.Dialected(&control.Server{}, fam.Dialect(i))
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown goal %q (printing, treasure, transfer, control)", goalName)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("goalrun", flag.ContinueOnError)
+	var (
+		goalName  = fs.String("goal", "printing", "goal: printing, treasure, transfer, control")
+		classSize = fs.Int("class", 8, "server class size")
+		serverIdx = fs.Int("server", 0, "index of the server the adversary picks")
+		userKind  = fs.String("user", "universal", "user strategy: universal, oracle, fixed")
+		rounds    = fs.Int("rounds", 0, "horizon (0 = 60 × class size)")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		tracePath = fs.String("trace", "", "write a replayable JSON trace to this file")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *classSize < 1 {
+		return fmt.Errorf("class size must be positive")
+	}
+	if *serverIdx < 0 || *serverIdx >= *classSize {
+		return fmt.Errorf("server index %d outside class [0,%d)", *serverIdx, *classSize)
+	}
+
+	sc, err := buildScenario(*goalName, *classSize)
+	if err != nil {
+		return err
+	}
+
+	var usr comm.Strategy
+	switch *userKind {
+	case "universal":
+		u, err := universal.NewCompactUser(sc.enum, sc.sense)
+		if err != nil {
+			return err
+		}
+		usr = u
+	case "oracle":
+		usr = sc.enum.Strategy(*serverIdx)
+	case "fixed":
+		usr = sc.enum.Strategy(0)
+	default:
+		return fmt.Errorf("unknown user kind %q", *userKind)
+	}
+
+	horizon := *rounds
+	if horizon <= 0 {
+		horizon = 60 * *classSize
+	}
+	res, err := system.Run(usr, sc.mkServer(*serverIdx), sc.goal.NewWorld(goal.Env{Seed: *seed}),
+		system.Config{MaxRounds: horizon, Seed: *seed})
+	if err != nil {
+		return err
+	}
+
+	achieved := goal.CompactAchieved(sc.goal, res.History, 10)
+	fmt.Fprintf(stdout, "goal:      %s (class %d, server %d, user %s)\n",
+		sc.goal.Name(), *classSize, *serverIdx, *userKind)
+	fmt.Fprintf(stdout, "achieved:  %v\n", achieved)
+	fmt.Fprintf(stdout, "rounds:    %d (converged at %d)\n",
+		res.Rounds, goal.LastUnacceptable(sc.goal, res.History))
+	fmt.Fprintf(stdout, "end state: %s\n", res.History.Last())
+	if u, ok := usr.(*universal.CompactUser); ok {
+		fmt.Fprintf(stdout, "universal: %d evictions, final candidate %d\n",
+			u.Switches(), u.Index())
+	}
+
+	if *tracePath != "" {
+		rec, err := trace.FromResult(res, sc.goal.Name(), *seed)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *tracePath, err)
+		}
+		defer f.Close()
+		if err := rec.Encode(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace:     %s\n", *tracePath)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/goals/printing"
+	"repro/internal/trace"
+)
+
+func TestRunUniversalPrinting(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-goal", "printing", "-class", "4", "-server", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "achieved:  true") {
+		t.Fatalf("universal user failed:\n%s", out)
+	}
+	if !strings.Contains(out, "evictions") {
+		t.Fatalf("universal stats missing:\n%s", out)
+	}
+}
+
+func TestRunFixedFailsOnMismatch(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-goal", "printing", "-class", "4", "-server", "2", "-user", "fixed"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "achieved:  false") {
+		t.Fatalf("fixed user should fail on mismatched server:\n%s", b.String())
+	}
+}
+
+func TestRunOracleTreasure(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-goal", "treasure", "-class", "8", "-server", "5", "-user", "oracle"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "achieved:  true") {
+		t.Fatalf("oracle failed:\n%s", b.String())
+	}
+}
+
+func TestRunTraceOutput(t *testing.T) {
+	t.Parallel()
+
+	path := t.TempDir() + "/run.json"
+	var b strings.Builder
+	if err := run([]string{"-goal", "printing", "-class", "4", "-server", "1",
+		"-trace", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := trace.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recorded execution must re-judge as achieved offline.
+	if !rec.JudgeCompact(&printing.Goal{}, 10) {
+		t.Fatal("offline judgement of the trace failed")
+	}
+	if !rec.ReplaySense(printing.Sense(0)) {
+		t.Fatal("offline sensing replay failed")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-goal", "nosuch"}, &b); err == nil {
+		t.Error("unknown goal accepted")
+	}
+	if err := run([]string{"-class", "0"}, &b); err == nil {
+		t.Error("class 0 accepted")
+	}
+	if err := run([]string{"-class", "4", "-server", "9"}, &b); err == nil {
+		t.Error("out-of-class server accepted")
+	}
+	if err := run([]string{"-user", "nosuch"}, &b); err == nil {
+		t.Error("unknown user accepted")
+	}
+}
+
+func TestRunTransfer(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-goal", "transfer", "-class", "4", "-server", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "achieved:  true") {
+		t.Fatalf("transfer failed:\n%s", b.String())
+	}
+}
+
+func TestRunControl(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-goal", "control", "-class", "5", "-server", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "achieved:  true") {
+		t.Fatalf("control run failed:\n%s", b.String())
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"T1", "T6", "F2"} {
+		if !strings.Contains(b.String(), id) {
+			t.Fatalf("list output missing %s:\n%s", id, b.String())
+		}
+	}
+}
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-experiment", "T2", "-quick"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "T2") || !strings.Contains(b.String(), "oracle") {
+		t.Fatalf("unexpected output:\n%s", b.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-experiment", "T99"}, &b); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-no-such-flag"}, &b); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunOutFile(t *testing.T) {
+	t.Parallel()
+
+	path := t.TempDir() + "/report.txt"
+	var b strings.Builder
+	if err := run([]string{"-experiment", "F2", "-quick", "-out", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(data, "F2") {
+		t.Fatalf("file output missing F2:\n%s", data)
+	}
+}
+
+func readFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	return string(data), err
+}

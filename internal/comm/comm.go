@@ -1,0 +1,161 @@
+// Package comm defines the communication model of Goldreich, Juba and
+// Sudan's "A Theory of Goal-Oriented Communication" (PODC 2011).
+//
+// The model is a synchronous system of three parties — a user, a server and
+// a world (the environment / referee's view of "the rest of the system").
+// Each party is described by a strategy: a probabilistic function taking an
+// internal state and an incoming message profile to a new state and an
+// outgoing message profile. This package defines the message types, the
+// strategy interface and the recorded artifacts of an execution (world-state
+// histories and user views) that goals and sensing functions are defined
+// over.
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Party identifies one of the three roles in the two-party-plus-world model.
+type Party int
+
+// The three parties of the model. The user represents "our point of view";
+// the server is the entity whose help is sought; the world monitors the
+// communication and carries the goal's semantics.
+const (
+	PartyUser Party = iota + 1
+	PartyServer
+	PartyWorld
+)
+
+// String returns the lower-case party name.
+func (p Party) String() string {
+	switch p {
+	case PartyUser:
+		return "user"
+	case PartyServer:
+		return "server"
+	case PartyWorld:
+		return "world"
+	default:
+		return fmt.Sprintf("party(%d)", int(p))
+	}
+}
+
+// Message is a single unit of communication on a directed channel during one
+// round. The empty message denotes silence; strategies are free to ascribe
+// structure (tokens, framing) to non-empty messages.
+type Message string
+
+// Empty reports whether the message is silence.
+func (m Message) Empty() bool { return len(m) == 0 }
+
+// Inbox is the profile of messages a party receives at the start of a round,
+// indexed by sender. A party never receives from itself; the corresponding
+// field is ignored by the engine.
+type Inbox struct {
+	FromUser   Message
+	FromServer Message
+	FromWorld  Message
+}
+
+// Outbox is the profile of messages a party emits at the end of a round,
+// indexed by recipient. A party never sends to itself; the corresponding
+// field is ignored by the engine.
+type Outbox struct {
+	ToUser   Message
+	ToServer Message
+	ToWorld  Message
+}
+
+// Strategy is a party's behaviour: a (probabilistic) state-transition
+// function from (internal state, incoming message profile) to (new state,
+// outgoing message profile). Implementations carry their state internally;
+// Reset returns the strategy to an initial state and installs the source of
+// randomness for the run.
+//
+// The same Strategy value is reused across executions by calling Reset, so
+// implementations must not retain state across Reset calls.
+type Strategy interface {
+	// Reset prepares the strategy for a fresh execution. The provided
+	// generator is the strategy's only permitted source of randomness;
+	// a nil generator indicates the strategy should behave
+	// deterministically (implementations may keep a private default).
+	Reset(r *xrand.Rand)
+
+	// Step consumes the messages delivered this round and returns the
+	// messages to deliver next round. An error aborts the execution.
+	Step(in Inbox) (Outbox, error)
+}
+
+// Halter is implemented by user strategies for finite goals: once Halted
+// reports true the execution engine stops the run. The engine checks Halted
+// after each Step.
+type Halter interface {
+	Halted() bool
+}
+
+// WorldState is an opaque encoding of the world's instantaneous state.
+// Referees — the predicates that define goals — are functions of sequences
+// of world states, so anything a referee must see has to be serialized into
+// this encoding by the world strategy.
+type WorldState string
+
+// History is the sequence of world states produced by an execution, one per
+// completed round. Referee predicates are defined over histories.
+type History struct {
+	// States holds the world state recorded after each round; States[i]
+	// is the state at the end of round i (0-based).
+	States []WorldState
+}
+
+// Len returns the number of recorded rounds.
+func (h History) Len() int { return len(h.States) }
+
+// Last returns the most recent world state, or the empty state if no round
+// has completed.
+func (h History) Last() WorldState {
+	if len(h.States) == 0 {
+		return ""
+	}
+	return h.States[len(h.States)-1]
+}
+
+// Prefix returns the history truncated to its first n states. It panics if
+// n is out of range, mirroring slice semantics.
+func (h History) Prefix(n int) History {
+	return History{States: h.States[:n]}
+}
+
+// RoundView is what the user observed and did during a single round: the
+// messages delivered to it and the messages it emitted.
+type RoundView struct {
+	In  Inbox
+	Out Outbox
+}
+
+// View is the portion of the execution visible to the user: its own rounds,
+// in order. Sensing functions — the feedback mechanism of the theory — are
+// predicates over views, never over hidden server or world internals.
+type View struct {
+	Rounds []RoundView
+}
+
+// Len returns the number of rounds in the view.
+func (v View) Len() int { return len(v.Rounds) }
+
+// Last returns the most recent round view. It returns a zero RoundView when
+// the view is empty.
+func (v View) Last() RoundView {
+	if len(v.Rounds) == 0 {
+		return RoundView{}
+	}
+	return v.Rounds[len(v.Rounds)-1]
+}
+
+// Append returns a copy-on-write extension of the view with one more round.
+// The underlying array may be shared; callers must treat views as immutable.
+func (v View) Append(rv RoundView) View {
+	return View{Rounds: append(v.Rounds[:len(v.Rounds):len(v.Rounds)], rv)}
+}

@@ -1,0 +1,120 @@
+// Package core is the façade of the goal-oriented communication library:
+// one import that surfaces the model (strategies, goals, worlds), the
+// feedback notion (sensing), the execution engine and the paper's main
+// constructions (universal users for compact and finite goals).
+//
+// The theory in one paragraph: communication is a means to a goal, not an
+// end. A goal fixes the world's strategy and a referee over world-state
+// histories; the user must achieve the goal with an adversarially chosen
+// server from a class, despite having no agreed protocol. Theorem 1 of
+// Goldreich–Juba–Sudan (PODC 2011): if sensing — Boolean feedback computed
+// from the user's own view — is safe and viable for the goal and class,
+// then a universal user exists: enumerate candidate strategies and let
+// sensing drive the search.
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	fam, _ := dialect.NewWordFamily(printing.Vocabulary(), 16)
+//	user, _ := core.NewCompactUniversalUser(printing.Enum(fam), printing.Sense(0))
+//	srv := core.DialectedServer(&printing.Server{}, fam.Dialect(11))
+//	g := &printing.Goal{}
+//	achieved, res, _ := core.AchieveCompact(g, user, srv, core.RunConfig{MaxRounds: 800})
+//
+// Sub-packages (importable directly for finer control):
+//
+//	comm       messages, strategies, views, histories
+//	system     the synchronous three-party execution engine
+//	goal       goals, referees (finite / compact), worlds
+//	sensing    sensing functions, safety/viability combinators
+//	enumerate  total strategy enumerations (incl. finite-state transducers)
+//	universal  Theorem 1: CompactUser and the Levin-style FiniteRunner
+//	dialect    invertible message encodings (the language-mismatch model)
+//	server     server classes: dialected, delayed, noisy, obstinate
+//	beliefs    prior-weighted enumeration (compatible beliefs)
+//	goals/...  concrete goals: printing, treasure, delegation, learning
+//	multiparty symmetric multi-party goals reduced to two-party sessions
+//	harness    experiment tables plus safety/viability certification
+package core
+
+import (
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/enumerate"
+	"repro/internal/goal"
+	"repro/internal/sensing"
+	"repro/internal/server"
+	"repro/internal/system"
+	"repro/internal/universal"
+)
+
+// Core model types, re-exported for single-import consumers.
+type (
+	// Message is one unit of communication on a directed channel.
+	Message = comm.Message
+	// Strategy is a party's (probabilistic) state-transition behaviour.
+	Strategy = comm.Strategy
+	// View is the user-visible portion of an execution.
+	View = comm.View
+	// History is the world-state sequence referees judge.
+	History = comm.History
+
+	// Goal fixes the world and its referee; CompactGoal and FiniteGoal
+	// refine it per the two families of the theory.
+	Goal = goal.Goal
+	// CompactGoal is a goal over infinite executions.
+	CompactGoal = goal.CompactGoal
+	// FiniteGoal is a goal decided when the user halts.
+	FiniteGoal = goal.FiniteGoal
+	// World is the third party whose states carry the goal's semantics.
+	World = goal.World
+	// Env is the world's non-deterministic choice.
+	Env = goal.Env
+
+	// Sense is the Boolean feedback of the theory.
+	Sense = sensing.Sense
+	// Enumerator is a total, indexable class of user strategies.
+	Enumerator = enumerate.Enumerator
+	// Dialect is an invertible message encoding.
+	Dialect = dialect.Dialect
+
+	// CompactUniversalUser is the enumerate-and-switch construction.
+	CompactUniversalUser = universal.CompactUser
+	// FiniteRunner is the Levin-style finite-goal construction.
+	FiniteRunner = universal.FiniteRunner
+
+	// RunConfig configures one execution.
+	RunConfig = system.Config
+	// RunResult records one execution.
+	RunResult = system.Result
+)
+
+// NewCompactUniversalUser builds the paper's compact-goal universal user
+// from a candidate enumeration and a sensing function.
+func NewCompactUniversalUser(enum Enumerator, sense Sense) (*CompactUniversalUser, error) {
+	return universal.NewCompactUser(enum, sense)
+}
+
+// DialectedServer wraps a native-protocol server so that its wire language
+// on the user channel is d.
+func DialectedServer(inner Strategy, d Dialect) Strategy {
+	return server.Dialected(inner, d)
+}
+
+// Run executes (user, server, world) under cfg.
+func Run(user, srv Strategy, w World, cfg RunConfig) (*RunResult, error) {
+	return system.Run(user, srv, w, cfg)
+}
+
+// DefaultWindow is the convergence window used by AchieveCompact.
+const DefaultWindow = 10
+
+// AchieveCompact runs the system on the compact goal's world (environment
+// choice 0) and reports whether the goal was achieved on the bounded
+// horizon, alongside the full execution record.
+func AchieveCompact(g CompactGoal, user, srv Strategy, cfg RunConfig) (bool, *RunResult, error) {
+	res, err := system.Run(user, srv, g.NewWorld(Env{Seed: cfg.Seed}), cfg)
+	if err != nil {
+		return false, nil, err
+	}
+	return goal.CompactAchieved(g, res.History, DefaultWindow), res, nil
+}

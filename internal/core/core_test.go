@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/goals/printing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	t.Parallel()
+
+	fam, err := dialect.NewWordFamily(printing.Vocabulary(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := NewCompactUniversalUser(printing.Enum(fam), printing.Sense(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := DialectedServer(&printing.Server{}, fam.Dialect(11))
+	g := &printing.Goal{}
+
+	achieved, res, err := AchieveCompact(g, user, srv, RunConfig{MaxRounds: 800, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !achieved {
+		t.Fatal("quickstart flow did not achieve the printing goal")
+	}
+	if res.Rounds == 0 || res.History.Len() == 0 {
+		t.Fatal("empty execution record")
+	}
+}
+
+func TestAchieveCompactPropagatesErrors(t *testing.T) {
+	t.Parallel()
+
+	g := &printing.Goal{}
+	if _, _, err := AchieveCompact(g, nil, nil, RunConfig{}); err == nil {
+		t.Fatal("nil parties accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dialect"
+	"repro/internal/goals/printing"
+)
+
+// Example demonstrates the one-minute flow: a universal user achieves the
+// printing goal with a printer whose dialect it is never told.
+func Example() {
+	fam, err := dialect.NewWordFamily(printing.Vocabulary(), 16)
+	if err != nil {
+		fmt.Println("family:", err)
+		return
+	}
+
+	// The adversary picks dialect 11; the user only knows the class.
+	srv := core.DialectedServer(&printing.Server{}, fam.Dialect(11))
+	user, err := core.NewCompactUniversalUser(printing.Enum(fam), printing.Sense(0))
+	if err != nil {
+		fmt.Println("user:", err)
+		return
+	}
+
+	achieved, _, err := core.AchieveCompact(&printing.Goal{}, user, srv,
+		core.RunConfig{MaxRounds: 800, Seed: 1})
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	fmt.Println("achieved:", achieved)
+	fmt.Println("final candidate dialect:", user.Index()%fam.Size())
+	// Output:
+	// achieved: true
+	// final candidate dialect: 11
+}

@@ -1,0 +1,80 @@
+package enumerate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/comm"
+)
+
+// Concat enumerates all of a's strategies followed by all of b's. Both
+// must be bounded. Use it to extend a candidate class with a fallback
+// family (e.g. plain printing candidates followed by robust ones).
+func Concat(a, b Enumerator) (Enumerator, error) {
+	if a.Size() == Unbounded || b.Size() == Unbounded {
+		return nil, fmt.Errorf("enumerate: Concat requires bounded enumerators (%q, %q)",
+			a.Name(), b.Name())
+	}
+	an, bn := a.Size(), b.Size()
+	name := a.Name() + "+" + b.Name()
+	return FromFunc(name, an+bn, func(i int) comm.Strategy {
+		if i < an {
+			return a.Strategy(i)
+		}
+		return b.Strategy(i - an)
+	}), nil
+}
+
+// Interleave alternates between the given enumerators round-robin:
+// index 0 → es[0][0], 1 → es[1][0], ..., then the second candidate of each
+// family, and so on; families that run out of fresh candidates drop out of
+// the rotation. Interleaving keeps every family's early candidates early —
+// the right composition when each family might contain the match.
+//
+// If every member is unbounded the result is unbounded (uniform rotation);
+// mixing bounded and unbounded members is rejected to keep the enumeration
+// total.
+func Interleave(es ...Enumerator) (Enumerator, error) {
+	if len(es) == 0 {
+		return nil, fmt.Errorf("enumerate: Interleave requires at least one enumerator")
+	}
+	names := make([]string, len(es))
+	bounded, unbounded := 0, 0
+	total := 0
+	for i, e := range es {
+		names[i] = e.Name()
+		if e.Size() == Unbounded {
+			unbounded++
+		} else {
+			bounded++
+			total += e.Size()
+		}
+	}
+	name := "interleave(" + strings.Join(names, ",") + ")"
+
+	if unbounded > 0 && bounded > 0 {
+		return nil, fmt.Errorf("enumerate: Interleave cannot mix bounded and unbounded enumerators")
+	}
+	if unbounded == len(es) {
+		k := len(es)
+		return FromFunc(name, Unbounded, func(i int) comm.Strategy {
+			return es[i%k].Strategy(i / k)
+		}), nil
+	}
+
+	// All bounded: precompute the round-robin schedule so every strategy
+	// of every family appears exactly once (totality).
+	type slot struct{ fam, idx int }
+	schedule := make([]slot, 0, total)
+	for depth := 0; len(schedule) < total; depth++ {
+		for f, e := range es {
+			if depth < e.Size() {
+				schedule = append(schedule, slot{fam: f, idx: depth})
+			}
+		}
+	}
+	return FromFunc(name, total, func(i int) comm.Strategy {
+		s := schedule[i]
+		return es[s.fam].Strategy(s.idx)
+	}), nil
+}

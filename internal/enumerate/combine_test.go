@@ -1,0 +1,128 @@
+package enumerate
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/commtest"
+	"repro/internal/xrand"
+)
+
+func labeled(label rune, n int) Enumerator {
+	return FromFunc(string(label), n, func(i int) comm.Strategy {
+		msg := comm.Message(string(label) + string(rune('0'+i)))
+		return &commtest.Script{Outs: []comm.Outbox{{ToServer: msg}}}
+	})
+}
+
+func firstOf(t *testing.T, e Enumerator, i int) string {
+	t.Helper()
+	s := e.Strategy(i)
+	s.Reset(xrand.New(1))
+	out, err := s.Step(comm.Inbox{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out.ToServer)
+}
+
+func TestConcatOrderAndSize(t *testing.T) {
+	t.Parallel()
+
+	c, err := Concat(labeled('a', 2), labeled('b', 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 5 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	want := []string{"a0", "a1", "b0", "b1", "b2"}
+	for i, w := range want {
+		if got := firstOf(t, c, i); got != w {
+			t.Fatalf("concat[%d] = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestConcatRejectsUnbounded(t *testing.T) {
+	t.Parallel()
+
+	u := FromFunc("u", Unbounded, func(int) comm.Strategy { return &commtest.Silent{} })
+	if _, err := Concat(u, labeled('a', 2)); err == nil {
+		t.Fatal("unbounded concat accepted")
+	}
+}
+
+func TestInterleaveEqualSizes(t *testing.T) {
+	t.Parallel()
+
+	il, err := Interleave(labeled('a', 2), labeled('b', 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a0", "b0", "a1", "b1"}
+	for i, w := range want {
+		if got := firstOf(t, il, i); got != w {
+			t.Fatalf("interleave[%d] = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestInterleaveUnequalSizesIsTotal(t *testing.T) {
+	t.Parallel()
+
+	// The shorter family drops out; every strategy of the longer family
+	// must still appear exactly once.
+	il, err := Interleave(labeled('a', 1), labeled('b', 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if il.Size() != 5 {
+		t.Fatalf("size = %d", il.Size())
+	}
+	seen := map[string]bool{}
+	for i := 0; i < il.Size(); i++ {
+		seen[firstOf(t, il, i)] = true
+	}
+	for _, w := range []string{"a0", "b0", "b1", "b2", "b3"} {
+		if !seen[w] {
+			t.Fatalf("strategy %q missing from interleave: %v", w, seen)
+		}
+	}
+}
+
+func TestInterleaveAllUnbounded(t *testing.T) {
+	t.Parallel()
+
+	mk := func(label rune) Enumerator {
+		return FromFunc(string(label), Unbounded, func(i int) comm.Strategy {
+			msg := comm.Message(string(label) + string(rune('0'+i%10)))
+			return &commtest.Script{Outs: []comm.Outbox{{ToServer: msg}}}
+		})
+	}
+	il, err := Interleave(mk('x'), mk('y'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if il.Size() != Unbounded {
+		t.Fatal("all-unbounded interleave should be unbounded")
+	}
+	if got := firstOf(t, il, 0); got != "x0" {
+		t.Fatalf("il[0] = %q", got)
+	}
+	if got := firstOf(t, il, 3); got != "y1" {
+		t.Fatalf("il[3] = %q", got)
+	}
+}
+
+func TestInterleaveRejectsMixed(t *testing.T) {
+	t.Parallel()
+
+	u := FromFunc("u", Unbounded, func(int) comm.Strategy { return &commtest.Silent{} })
+	if _, err := Interleave(u, labeled('a', 2)); err == nil {
+		t.Fatal("mixed interleave accepted")
+	}
+	if _, err := Interleave(); err == nil {
+		t.Fatal("empty interleave accepted")
+	}
+}

@@ -1,0 +1,225 @@
+package enumerate
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/commtest"
+	"repro/internal/fst"
+	"repro/internal/xrand"
+)
+
+func constEnum(n int) Enumerator {
+	return FromFunc("const", n, func(i int) comm.Strategy {
+		return &commtest.Script{Outs: []comm.Outbox{{ToServer: comm.Message(rune('a' + i))}}}
+	})
+}
+
+func firstMsg(t *testing.T, s comm.Strategy) comm.Message {
+	t.Helper()
+	s.Reset(xrand.New(1))
+	out, err := s.Step(comm.Inbox{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.ToServer
+}
+
+func TestFromFuncWraps(t *testing.T) {
+	t.Parallel()
+
+	e := constEnum(3)
+	if got := firstMsg(t, e.Strategy(4)); got != firstMsg(t, e.Strategy(1)) {
+		t.Fatalf("index 4 should wrap to 1, got %q", got)
+	}
+	if got := firstMsg(t, e.Strategy(-2)); got != firstMsg(t, e.Strategy(2)) {
+		t.Fatalf("negative index should map into range, got %q", got)
+	}
+}
+
+func TestFromFuncValidation(t *testing.T) {
+	t.Parallel()
+
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("nil func", func() { FromFunc("x", 1, nil) })
+	assertPanics("zero size", func() { FromFunc("x", 0, func(int) comm.Strategy { return nil }) })
+	assertPanics("bad negative size", func() { FromFunc("x", -2, func(int) comm.Strategy { return nil }) })
+}
+
+func TestUnboundedEnumerator(t *testing.T) {
+	t.Parallel()
+
+	e := FromFunc("unbounded", Unbounded, func(i int) comm.Strategy {
+		return &commtest.Script{Outs: []comm.Outbox{{ToServer: comm.Message(rune(i))}}}
+	})
+	if e.Size() != Unbounded {
+		t.Fatal("size not unbounded")
+	}
+	if got := firstMsg(t, e.Strategy(1000)); got != comm.Message(rune(1000)) {
+		t.Fatalf("unbounded enumerator wrapped: %q", got)
+	}
+}
+
+func TestReordered(t *testing.T) {
+	t.Parallel()
+
+	e := constEnum(3)
+	r, err := Reordered(e, []int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := firstMsg(t, r.Strategy(0)); got != "c" {
+		t.Fatalf("reordered[0] = %q, want c", got)
+	}
+	if got := firstMsg(t, r.Strategy(2)); got != "b" {
+		t.Fatalf("reordered[2] = %q, want b", got)
+	}
+}
+
+func TestReorderedValidation(t *testing.T) {
+	t.Parallel()
+
+	e := constEnum(3)
+	if _, err := Reordered(e, []int{0, 1}); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := Reordered(e, []int{0, 1, 1}); err == nil {
+		t.Error("duplicate order accepted")
+	}
+	if _, err := Reordered(e, []int{0, 1, 3}); err == nil {
+		t.Error("out-of-range order accepted")
+	}
+	unbounded := FromFunc("u", Unbounded, func(int) comm.Strategy { return &commtest.Silent{} })
+	if _, err := Reordered(unbounded, nil); err == nil {
+		t.Error("reorder of unbounded enumerator accepted")
+	}
+}
+
+func TestShuffledIsPermutation(t *testing.T) {
+	t.Parallel()
+
+	e := constEnum(6)
+	s, err := Shuffled(e, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[comm.Message]bool)
+	for i := 0; i < 6; i++ {
+		seen[firstMsg(t, s.Strategy(i))] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("shuffle lost strategies: %d distinct", len(seen))
+	}
+}
+
+func TestShuffledDeterministic(t *testing.T) {
+	t.Parallel()
+
+	e := constEnum(6)
+	a, err := Shuffled(e, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Shuffled(e, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if firstMsg(t, a.Strategy(i)) != firstMsg(t, b.Strategy(i)) {
+			t.Fatal("same-seed shuffles differ")
+		}
+	}
+}
+
+func testCodec() SymbolCodec {
+	return SymbolCodec{
+		NumIn:  2,
+		NumOut: 2,
+		In: func(in comm.Inbox) int {
+			if in.FromServer.Empty() {
+				return 0
+			}
+			return 1
+		},
+		Out: func(sym int) comm.Outbox {
+			if sym == 0 {
+				return comm.Outbox{}
+			}
+			return comm.Outbox{ToServer: "ping"}
+		},
+	}
+}
+
+func TestFSTEnumeratorTotal(t *testing.T) {
+	t.Parallel()
+
+	space := fst.Space{NumStates: 2, NumIn: 2, NumOut: 2}
+	e, err := FST(space, testCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size() != 256 {
+		t.Fatalf("size = %d, want 256", e.Size())
+	}
+	// Every index must yield a runnable strategy.
+	for i := 0; i < e.Size(); i += 17 {
+		s := e.Strategy(i)
+		s.Reset(xrand.New(1))
+		if _, err := s.Step(comm.Inbox{FromServer: "x"}); err != nil {
+			t.Fatalf("strategy %d failed: %v", i, err)
+		}
+	}
+}
+
+func TestFSTValidation(t *testing.T) {
+	t.Parallel()
+
+	space := fst.Space{NumStates: 2, NumIn: 2, NumOut: 2}
+	if _, err := FST(fst.Space{}, testCodec()); err == nil {
+		t.Error("invalid space accepted")
+	}
+	if _, err := FST(space, SymbolCodec{NumIn: 2, NumOut: 2}); err == nil {
+		t.Error("nil codec functions accepted")
+	}
+	bad := testCodec()
+	bad.NumIn = 3
+	if _, err := FST(space, bad); err == nil {
+		t.Error("mismatched codec accepted")
+	}
+}
+
+func TestFSTStrategyResetRestoresInitialState(t *testing.T) {
+	t.Parallel()
+
+	space := fst.Space{NumStates: 2, NumIn: 2, NumOut: 2}
+	e, err := FST(space, testCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Strategy(137)
+	run := func() []comm.Outbox {
+		s.Reset(xrand.New(1))
+		var outs []comm.Outbox
+		for i := 0; i < 8; i++ {
+			out, err := s.Step(comm.Inbox{FromServer: "x"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs = append(outs, out)
+		}
+		return outs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Reset did not restore initial FST state")
+		}
+	}
+}

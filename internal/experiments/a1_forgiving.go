@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dialect"
+	"repro/internal/goal"
+	"repro/internal/goals/printing"
+	"repro/internal/harness"
+	"repro/internal/server"
+	"repro/internal/system"
+	"repro/internal/universal"
+)
+
+// RunA1 ablates forgivingness, the structural assumption the paper adopts
+// ("we focus exclusively on forgiving goals"). A touchy printer wastes a
+// sheet on every misunderstood command; with a finite tray the printing
+// goal stops being forgiving, and the universal user's probing — harmless
+// under Theorem 1's assumptions — destroys achievability. The oracle,
+// which never probes, still succeeds on one sheet.
+func RunA1(cfg Config) (*harness.Report, error) {
+	famSize := 16
+	serverIdx := 12
+	trays := []int{0, 64, 32, 16, 8}
+	if cfg.Quick {
+		famSize = 8
+		serverIdx = 6
+		trays = []int{0, 16, 4}
+	}
+
+	fam, err := dialect.NewWordFamily(printing.Vocabulary(), famSize)
+	if err != nil {
+		return nil, fmt.Errorf("A1: %w", err)
+	}
+
+	tbl := &harness.Table{
+		ID:      "A1",
+		Title:   "forgivingness ablation: touchy printer with a finite paper tray",
+		Columns: []string{"tray", "forgiving", "user", "achieved", "sheets used", "error pages"},
+		Notes: []string{
+			fmt.Sprintf("class size %d, server dialect %d; every misunderstood command burns a sheet", famSize, serverIdx),
+			"tray 0 = unlimited; with a small tray universal probing exhausts the paper first",
+			"Theorem 1 is stated for forgiving goals — this is why",
+		},
+	}
+
+	for _, paper := range trays {
+		g := &printing.Goal{Docs: []string{"target"}, Paper: paper}
+		forgiving := "yes"
+		if !g.ForgivingGoal() {
+			forgiving = "no"
+		}
+
+		// Universal user.
+		u, err := universal.NewCompactUser(printing.Enum(fam), printing.Sense(0))
+		if err != nil {
+			return nil, fmt.Errorf("A1: %w", err)
+		}
+		srv := server.Dialected(&printing.TouchyServer{}, fam.Dialect(serverIdx))
+		w := g.NewWorld(goal.Env{})
+		res, err := system.Run(u, srv, w, system.Config{MaxRounds: 50 * famSize, Seed: cfg.seed()})
+		if err != nil {
+			return nil, fmt.Errorf("A1: universal tray %d: %w", paper, err)
+		}
+		achieved := goal.CompactAchieved(g, res.History, 10)
+		sheets, errPages := countSheets(w)
+		tbl.AddRow(trayLabel(paper), forgiving, "universal",
+			yesNo(achieved), harness.I(sheets), harness.I(errPages))
+
+		// Oracle user: no probing, one command, one sheet.
+		g2 := &printing.Goal{Docs: []string{"target"}, Paper: paper}
+		w2 := g2.NewWorld(goal.Env{})
+		oracle := &printing.Candidate{D: fam.Dialect(serverIdx), Resend: 1000}
+		res2, err := system.Run(oracle,
+			server.Dialected(&printing.TouchyServer{}, fam.Dialect(serverIdx)),
+			w2, system.Config{MaxRounds: 80, Seed: cfg.seed()})
+		if err != nil {
+			return nil, fmt.Errorf("A1: oracle tray %d: %w", paper, err)
+		}
+		achieved2 := goal.CompactAchieved(g2, res2.History, 10)
+		sheets2, errPages2 := countSheets(w2)
+		tbl.AddRow(trayLabel(paper), forgiving, "oracle",
+			yesNo(achieved2), harness.I(sheets2), harness.I(errPages2))
+	}
+	return &harness.Report{Tables: []*harness.Table{tbl}}, nil
+}
+
+func trayLabel(paper int) string {
+	if paper == 0 {
+		return "unlimited"
+	}
+	return harness.I(paper)
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func countSheets(w goal.World) (sheets, errorPages int) {
+	pw, ok := w.(*printing.World)
+	if !ok {
+		return 0, 0
+	}
+	for _, doc := range pw.Printout() {
+		sheets++
+		if strings.Contains(doc, printing.ErrorPage) {
+			errorPages++
+		}
+	}
+	return sheets, errorPages
+}

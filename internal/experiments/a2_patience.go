@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dialect"
+	"repro/internal/goal"
+	"repro/internal/goals/transfer"
+	"repro/internal/harness"
+	"repro/internal/server"
+	"repro/internal/system"
+	"repro/internal/universal"
+)
+
+// RunA2 sweeps sensing patience against server slowness — the practical
+// knob behind viability. The transfer goal makes patience matter: the
+// matching candidate must stay installed long enough to observe storage
+// progress, which a slow server delivers latency+3 rounds after each
+// command. Patience below that latency evicts the matching candidate
+// between progress events, inflating convergence by the churn tax (the
+// goal is forgiving, so achievement survives — only efficiency and
+// settling degrade, which is itself a finding worth the table).
+func RunA2(cfg Config) (*harness.Report, error) {
+	famSize := 12
+	serverIdx := 9
+	chunks := 6
+	patiences := []int{2, 4, 8, 16}
+	delays := []int{0, 3, 6}
+	if cfg.Quick {
+		famSize = 6
+		serverIdx = 4
+		chunks = 4
+		patiences = []int{2, 8}
+		delays = []int{0, 3}
+	}
+
+	fam, err := dialect.NewWordFamily(transfer.Vocabulary(), famSize)
+	if err != nil {
+		return nil, fmt.Errorf("A2: %w", err)
+	}
+	g := &transfer.Goal{K: chunks}
+
+	tbl := &harness.Table{
+		ID:      "A2",
+		Title:   "sensing patience vs server slowness on the transfer goal",
+		Columns: []string{"slowness", "patience", "achieved", "converged round", "switches"},
+		Notes: []string{
+			fmt.Sprintf("class size %d, server dialect %d, K=%d chunks; progress latency = slowness + 3",
+				famSize, serverIdx, chunks),
+			"patience below the latency evicts the matching candidate between chunks → churn tax",
+			"the goal is forgiving, so achievement survives; efficiency is what patience buys",
+		},
+	}
+
+	for _, delay := range delays {
+		for _, patience := range patiences {
+			u, err := universal.NewCompactUser(transfer.Enum(fam), transfer.Sense(patience))
+			if err != nil {
+				return nil, fmt.Errorf("A2: %w", err)
+			}
+			srv := server.Slow(
+				server.Dialected(&transfer.Server{}, fam.Dialect(serverIdx)), delay)
+			horizon := 400 * famSize
+			res, err := system.Run(u, srv, g.NewWorld(goal.Env{}), system.Config{
+				MaxRounds: horizon, Seed: cfg.seed(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("A2: slowness %d patience %d: %w", delay, patience, err)
+			}
+
+			achieved := goal.CompactAchieved(g, res.History, 10)
+			converged := "-"
+			if achieved {
+				converged = harness.I(goal.LastUnacceptable(g, res.History))
+			}
+			tbl.AddRow(
+				harness.I(delay),
+				harness.I(patience),
+				yesNo(achieved),
+				converged,
+				harness.I(u.Switches()),
+			)
+		}
+	}
+	return &harness.Report{Tables: []*harness.Table{tbl}}, nil
+}

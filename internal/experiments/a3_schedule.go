@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/goal"
+	"repro/internal/goals/delegation"
+	"repro/internal/harness"
+	"repro/internal/server"
+	"repro/internal/universal"
+)
+
+// RunA3 compares the two dovetailing schedules of the finite-goal
+// universal runner: uniform (budget p+1 for candidates 0..p — polynomial
+// cost in the matching index) and classic exponential Levin weighting
+// (budget 2^(p−i) — optimal in the weighted sense but exponentially costly
+// in the index). The crossover motivates the uniform default.
+func RunA3(cfg Config) (*harness.Report, error) {
+	famSize := 16
+	indices := []int{0, 1, 2, 4, 8, 12}
+	if cfg.Quick {
+		famSize = 8
+		indices = []int{0, 2, 5}
+	}
+
+	fam, err := dialect.NewWordFamily(delegation.Vocabulary(), famSize)
+	if err != nil {
+		return nil, fmt.Errorf("A3: %w", err)
+	}
+	g := &delegation.Goal{N: 12}
+
+	tbl := &harness.Table{
+		ID:      "A3",
+		Title:   "Levin dovetailing schedules on the delegation goal",
+		Columns: []string{"server idx", "schedule", "succeeded", "attempts", "total rounds"},
+		Notes: []string{
+			"uniform: phase p runs candidates 0..p with budget p+1 (polynomial in index)",
+			"exponential: budget 2^(p−i) — candidate i needs phase ≥ i+log2(protocol), cost ~2^i",
+			"both are instances of the paper's \"enumerate in parallel, stop on sensing\"",
+		},
+	}
+
+	for _, idx := range indices {
+		idx := idx
+		for _, sched := range []struct {
+			name string
+			s    universal.Schedule
+			max  int
+		}{
+			{"uniform", universal.ScheduleUniform, 0},
+			{"exponential", universal.ScheduleExponential, 18},
+		} {
+			fr := &universal.FiniteRunner{
+				Enum:      delegation.Enum(fam),
+				Sense:     delegation.Sense(),
+				Schedule:  sched.s,
+				MaxPhases: sched.max,
+			}
+			res, err := fr.Run(
+				func() comm.Strategy {
+					return server.Dialected(&delegation.Server{}, fam.Dialect(idx))
+				},
+				func() goal.World { return g.NewWorld(goal.Env{Choice: 1}) },
+				cfg.seed(),
+			)
+			if err != nil {
+				return nil, fmt.Errorf("A3: idx %d %s: %w", idx, sched.name, err)
+			}
+			tbl.AddRow(
+				harness.I(idx),
+				sched.name,
+				yesNo(res.Succeeded),
+				harness.I(len(res.Attempts)),
+				harness.I(res.TotalRounds),
+			)
+		}
+	}
+	return &harness.Report{Tables: []*harness.Table{tbl}}, nil
+}

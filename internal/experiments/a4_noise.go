@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dialect"
+	"repro/internal/goal"
+	"repro/internal/goals/transfer"
+	"repro/internal/harness"
+	"repro/internal/server"
+	"repro/internal/system"
+	"repro/internal/universal"
+)
+
+// RunA4 measures robustness to message loss on the transfer goal: a
+// forgiving goal plus retransmitting candidates tolerates a lossy server —
+// the convergence time stretches smoothly with the drop probability
+// instead of failing, provided sensing patience covers the loss streaks.
+func RunA4(cfg Config) (*harness.Report, error) {
+	famSize := 8
+	chunks := 8
+	drops := []float64{0, 0.1, 0.3, 0.5}
+	trials := 5
+	if cfg.Quick {
+		famSize = 4
+		chunks = 4
+		drops = []float64{0, 0.3}
+		trials = 3
+	}
+
+	fam, err := dialect.NewWordFamily(transfer.Vocabulary(), famSize)
+	if err != nil {
+		return nil, fmt.Errorf("A4: %w", err)
+	}
+	g := &transfer.Goal{K: chunks}
+	serverIdx := famSize - 1
+	patience := 24
+
+	tbl := &harness.Table{
+		ID:      "A4",
+		Title:   "transfer goal under message loss",
+		Columns: []string{"drop p", "success", "mean rounds", "max rounds", "stddev"},
+		Notes: []string{
+			fmt.Sprintf("K=%d chunks, class size %d, worst-case dialect %d, patience %d, %d trials",
+				chunks, famSize, serverIdx, patience, trials),
+			"forgiving goal + round-robin retransmission: loss slows convergence, never dooms it",
+		},
+	}
+
+	for _, p := range drops {
+		succ := 0
+		var rounds []float64
+		for trial := 0; trial < trials; trial++ {
+			u, err := universal.NewCompactUser(transfer.Enum(fam), transfer.Sense(patience))
+			if err != nil {
+				return nil, fmt.Errorf("A4: %w", err)
+			}
+			srv := server.Noisy(server.Dialected(&transfer.Server{}, fam.Dialect(serverIdx)), p)
+			res, err := system.Run(u, srv, g.NewWorld(goal.Env{}), system.Config{
+				MaxRounds: 6000, Seed: cfg.seed() + uint64(trial)*31,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("A4: p=%.1f trial %d: %w", p, trial, err)
+			}
+			if goal.CompactAchieved(g, res.History, 10) {
+				succ++
+				rounds = append(rounds, float64(goal.LastUnacceptable(g, res.History)))
+			}
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%.1f", p),
+			harness.Percent(succ, trials),
+			harness.F(harness.Mean(rounds)),
+			harness.F(harness.Max(rounds)),
+			harness.F(harness.Stddev(rounds)),
+		)
+	}
+	return &harness.Report{Tables: []*harness.Table{tbl}}, nil
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestA1Shape(t *testing.T) {
+	t.Parallel()
+
+	r, err := ByID("A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+
+	// Unlimited paper: both users succeed.
+	if got := cell(t, rows, 3, "unlimited", "universal"); got != "yes" {
+		t.Fatalf("universal on unlimited tray: %s", got)
+	}
+	// Tiny tray: universal probing fails, oracle still succeeds.
+	if got := cell(t, rows, 3, "4", "universal"); got != "no" {
+		t.Fatalf("universal on 4-sheet tray should fail: %s", got)
+	}
+	if got := cell(t, rows, 3, "4", "oracle"); got != "yes" {
+		t.Fatalf("oracle on 4-sheet tray should succeed: %s", got)
+	}
+	// The oracle never prints error pages.
+	if got := cell(t, rows, 5, "4", "oracle"); got != "0" {
+		t.Fatalf("oracle error pages: %s", got)
+	}
+}
+
+func TestA2Shape(t *testing.T) {
+	t.Parallel()
+
+	r, err := ByID("A2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+
+	// Forgiving goal: every configuration still achieves.
+	for _, row := range rows {
+		if row[2] != "yes" {
+			t.Fatalf("transfer failed in row %v", row)
+		}
+	}
+	// With a slow server, low patience churns more than adequate
+	// patience (match slowness and patience columns exactly).
+	byCfg := func(slow, pat string) []string {
+		for _, row := range rows {
+			if row[0] == slow && row[1] == pat {
+				return row
+			}
+		}
+		t.Fatalf("no row for slowness=%s patience=%s", slow, pat)
+		return nil
+	}
+	churnLow := atof(t, byCfg("3", "2")[4])
+	churnHigh := atof(t, byCfg("3", "8")[4])
+	if churnLow <= churnHigh {
+		t.Fatalf("low patience should churn more: patience2=%v patience8=%v", churnLow, churnHigh)
+	}
+}
+
+func TestA3Shape(t *testing.T) {
+	t.Parallel()
+
+	r, err := ByID("A3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+
+	byCfg := func(idx, sched string) []string {
+		for _, row := range rows {
+			if row[0] == idx && row[1] == sched {
+				return row
+			}
+		}
+		t.Fatalf("no row for idx=%s sched=%s", idx, sched)
+		return nil
+	}
+	// Both schedules succeed everywhere.
+	for _, row := range rows {
+		if row[2] != "yes" {
+			t.Fatalf("schedule failed in row %v", row)
+		}
+	}
+	// At the largest index the exponential schedule costs far more than
+	// the uniform one.
+	uni := atof(t, byCfg("5", "uniform")[4])
+	exp := atof(t, byCfg("5", "exponential")[4])
+	if exp <= 2*uni {
+		t.Fatalf("exponential (%v) should dwarf uniform (%v) at index 5", exp, uni)
+	}
+	// At index 0 the exponential schedule is competitive (or better).
+	uni0 := atof(t, byCfg("0", "uniform")[4])
+	exp0 := atof(t, byCfg("0", "exponential")[4])
+	if exp0 > 3*uni0 {
+		t.Fatalf("exponential (%v) should be competitive at index 0 (uniform %v)", exp0, uni0)
+	}
+}
+
+func TestA4Shape(t *testing.T) {
+	t.Parallel()
+
+	r, err := ByID("A4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+
+	// Loss never breaks the transfer, only slows it.
+	for _, row := range rows {
+		if row[1] != "100.0%" {
+			t.Fatalf("loss broke the transfer: %v", row)
+		}
+	}
+	clean := atof(t, cell(t, rows, 2, "0.0"))
+	lossy := atof(t, cell(t, rows, 2, "0.3"))
+	if lossy < clean {
+		t.Fatalf("lossy mean rounds (%v) below clean (%v)", lossy, clean)
+	}
+}
+
+func TestA5Shape(t *testing.T) {
+	t.Parallel()
+
+	r, err := ByID("A5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+
+	// Both controllers succeed on every calibration.
+	for _, row := range rows {
+		if row[2] != "100.0%" {
+			t.Fatalf("controller failed: %v", row)
+		}
+	}
+	byCfg := func(n, ctl string) []string {
+		for _, row := range rows {
+			if row[0] == n && row[1] == ctl {
+				return row
+			}
+		}
+		t.Fatalf("no row for N=%s controller=%s", n, ctl)
+		return nil
+	}
+	// Adaptive worst-case rounds are flat across class sizes while
+	// enumeration grows; at N=9 adaptive clearly wins.
+	enum9 := atof(t, byCfg("9", "enumeration")[4])
+	adpt9 := atof(t, byCfg("9", "adaptive")[4])
+	if adpt9*2 >= enum9 {
+		t.Fatalf("adaptive worst (%v) should clearly beat enumeration (%v)", adpt9, enum9)
+	}
+	adpt5 := atof(t, byCfg("5", "adaptive")[4])
+	if adpt9 > 3*adpt5 {
+		t.Fatalf("adaptive cost should be ~flat in N: N=5→%v N=9→%v", adpt5, adpt9)
+	}
+}

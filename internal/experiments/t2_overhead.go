@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/enumerate"
+	"repro/internal/goal"
+	"repro/internal/goals/treasure"
+	"repro/internal/harness"
+	"repro/internal/system"
+	"repro/internal/universal"
+)
+
+// RunT2 quantifies the paper's claim that the enumeration overhead is
+// essentially necessary: against the password-server class of size N (whose
+// wrong-guess responses carry no information), the universal user's rounds
+// grow linearly in N — worst case ~N candidates, mean ~N/2 regardless of
+// enumeration order — while the oracle stays flat.
+func RunT2(cfg Config) (*harness.Report, error) {
+	sizes := []int{8, 16, 32, 64}
+	if cfg.Quick {
+		sizes = []int{4, 8}
+	}
+
+	tbl := &harness.Table{
+		ID:      "T2",
+		Title:   "password vault: rounds to open vs class size N",
+		Columns: []string{"N", "user", "worst rounds", "mean rounds"},
+		Notes: []string{
+			"worst = adversarial secret placement (last candidate in the user's order)",
+			"mean = average over every secret in [0,N)",
+			"wrong guesses are indistinguishable, so Ω(N) tries are information-theoretically forced",
+		},
+	}
+
+	g := &treasure.Goal{}
+	run := func(enum enumerate.Enumerator, secret, horizon int) (int, error) {
+		u, err := universal.NewCompactUser(enum, treasure.Sense(0))
+		if err != nil {
+			return 0, err
+		}
+		res, err := system.Run(u, &treasure.Server{Secret: secret}, g.NewWorld(goal.Env{}),
+			system.Config{MaxRounds: horizon, Seed: cfg.seed()})
+		if err != nil {
+			return 0, err
+		}
+		if !goal.CompactAchieved(g, res.History, 5) {
+			return 0, fmt.Errorf("T2: secret %d not found within %d rounds", secret, horizon)
+		}
+		return goal.LastUnacceptable(g, res.History), nil
+	}
+
+	oracleRounds := func(secret, horizon int) (int, error) {
+		res, err := system.Run(&treasure.Candidate{Guess: secret},
+			&treasure.Server{Secret: secret}, g.NewWorld(goal.Env{}),
+			system.Config{MaxRounds: horizon, Seed: cfg.seed()})
+		if err != nil {
+			return 0, err
+		}
+		return goal.LastUnacceptable(g, res.History), nil
+	}
+
+	for _, n := range sizes {
+		horizon := 40 * n
+
+		type variant struct {
+			name string
+			mk   func() (enumerate.Enumerator, error)
+		}
+		variants := []variant{
+			{"universal(in order)", func() (enumerate.Enumerator, error) {
+				return treasure.Enum(n), nil
+			}},
+			{"universal(shuffled)", func() (enumerate.Enumerator, error) {
+				return enumerate.Shuffled(treasure.Enum(n), cfg.seed()+13)
+			}},
+		}
+
+		for _, v := range variants {
+			var all []float64
+			worst := 0.0
+			for secret := 0; secret < n; secret++ {
+				enum, err := v.mk()
+				if err != nil {
+					return nil, fmt.Errorf("T2: %s: %w", v.name, err)
+				}
+				r, err := run(enum, secret, horizon)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, float64(r))
+				if float64(r) > worst {
+					worst = float64(r)
+				}
+			}
+			tbl.AddRow(harness.I(n), v.name, harness.F(worst), harness.F(harness.Mean(all)))
+		}
+
+		var oracleAll []float64
+		oracleWorst := 0.0
+		for secret := 0; secret < n; secret++ {
+			r, err := oracleRounds(secret, horizon)
+			if err != nil {
+				return nil, err
+			}
+			oracleAll = append(oracleAll, float64(r))
+			if float64(r) > oracleWorst {
+				oracleWorst = float64(r)
+			}
+		}
+		tbl.AddRow(harness.I(n), "oracle", harness.F(oracleWorst), harness.F(harness.Mean(oracleAll)))
+	}
+
+	return &harness.Report{Tables: []*harness.Table{tbl}}, nil
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/goal"
+	"repro/internal/goals/delegation"
+	"repro/internal/harness"
+	"repro/internal/server"
+	"repro/internal/system"
+	"repro/internal/universal"
+)
+
+// RunT3 measures Theorem 1 for finite goals: the Levin-style runner
+// achieves the delegation goal with every dialected solver, at a total
+// simulated cost polynomial in the index of the matching candidate
+// (uniform dovetailing: O(max(index, protocolRounds)³)), against the
+// oracle's flat cost.
+func RunT3(cfg Config) (*harness.Report, error) {
+	famSize := 32
+	indices := []int{0, 2, 4, 8, 16, 31}
+	if cfg.Quick {
+		famSize = 8
+		indices = []int{0, 2, 7}
+	}
+
+	fam, err := dialect.NewWordFamily(delegation.Vocabulary(), famSize)
+	if err != nil {
+		return nil, fmt.Errorf("T3: %w", err)
+	}
+	g := &delegation.Goal{N: 12}
+
+	tbl := &harness.Table{
+		ID:      "T3",
+		Title:   "delegation (finite goal): Levin search cost vs matching candidate index",
+		Columns: []string{"server idx", "found idx", "attempts", "total rounds", "oracle rounds", "overhead x"},
+		Notes: []string{
+			"total rounds = all simulated rounds across dovetailed attempts (uniform schedule)",
+			"oracle rounds = a single run of the matching candidate",
+			"referee verified on the successful attempt's history in every row",
+		},
+	}
+
+	for _, idx := range indices {
+		idx := idx
+		fr := &universal.FiniteRunner{Enum: delegation.Enum(fam), Sense: delegation.Sense()}
+		res, err := fr.Run(
+			func() comm.Strategy { return server.Dialected(&delegation.Server{}, fam.Dialect(idx)) },
+			func() goal.World { return g.NewWorld(goal.Env{Choice: 1}) },
+			cfg.seed(),
+		)
+		if err != nil {
+			return nil, fmt.Errorf("T3: index %d: %w", idx, err)
+		}
+		if !res.Succeeded {
+			return nil, fmt.Errorf("T3: index %d: search failed", idx)
+		}
+		if !g.Achieved(res.Final.History) {
+			return nil, fmt.Errorf("T3: index %d: referee rejected final history", idx)
+		}
+
+		oracle, err := system.Run(
+			&delegation.Candidate{D: fam.Dialect(idx)},
+			server.Dialected(&delegation.Server{}, fam.Dialect(idx)),
+			g.NewWorld(goal.Env{Choice: 1}),
+			system.Config{MaxRounds: 100, Seed: cfg.seed()},
+		)
+		if err != nil {
+			return nil, fmt.Errorf("T3: oracle %d: %w", idx, err)
+		}
+
+		overhead := float64(res.TotalRounds) / float64(oracle.Rounds)
+		tbl.AddRow(
+			harness.I(idx),
+			harness.I(res.Index),
+			harness.I(len(res.Attempts)),
+			harness.I(res.TotalRounds),
+			harness.I(oracle.Rounds),
+			harness.F(overhead),
+		)
+	}
+	return &harness.Report{Tables: []*harness.Table{tbl}}, nil
+}

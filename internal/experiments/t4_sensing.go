@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/goal"
+	"repro/internal/goals/printing"
+	"repro/internal/harness"
+	"repro/internal/sensing"
+	"repro/internal/server"
+	"repro/internal/system"
+	"repro/internal/universal"
+)
+
+// RunT4 ablates the two semantic requirements on sensing. With safe and
+// viable sensing the universal user succeeds on all helpful printers and
+// never reports success falsely; the unsafe variant (trusting server ACKs)
+// is fooled by a lying printer; the non-viable variant (demanding
+// impossible confirmation) starves every candidate of positive indications
+// and the user churns forever.
+func RunT4(cfg Config) (*harness.Report, error) {
+	famSize := 8
+	if cfg.Quick {
+		famSize = 4
+	}
+	fam, err := dialect.NewWordFamily(printing.Vocabulary(), famSize)
+	if err != nil {
+		return nil, fmt.Errorf("T4: %w", err)
+	}
+	g := &printing.Goal{}
+	horizon := 60 * famSize
+
+	type variant struct {
+		name string
+		mk   func() sensing.Sense
+	}
+	variants := []variant{
+		{"safe+viable", func() sensing.Sense { return printing.Sense(0) }},
+		{"unsafe (trusts ACKs)", printing.TrustingSense},
+		{"non-viable (paranoid)", func() sensing.Sense { return printing.ParanoidSense(0) }},
+	}
+
+	tbl := &harness.Table{
+		ID:      "T4",
+		Title:   "sensing ablation on the printing goal",
+		Columns: []string{"sensing", "success (helpful)", "settled (helpful)", "false positive (lying)", "mean switches"},
+		Notes: []string{
+			"success = goal achieved across all helpful dialected printers",
+			"settled = user stopped switching in the final quarter of the horizon;",
+			"  without viability the user churns forever even when it stumbles into printing",
+			"false positive = final indication positive while goal unachieved, vs the lying printer",
+		},
+	}
+
+	for _, v := range variants {
+		succ, settled := 0, 0
+		var switches []float64
+
+		for srvIdx := 0; srvIdx < famSize; srvIdx++ {
+			u, err := universal.NewCompactUser(printing.Enum(fam), v.mk())
+			if err != nil {
+				return nil, fmt.Errorf("T4: %s: %w", v.name, err)
+			}
+			srv := server.Dialected(&printing.Server{}, fam.Dialect(srvIdx))
+			switchesAtCheckpoint := -1
+			checkpoint := horizon * 3 / 4
+			res, err := system.Run(u, srv, g.NewWorld(goal.Env{Choice: srvIdx}), system.Config{
+				MaxRounds: horizon, Seed: cfg.seed(),
+				OnRound: func(round int, _ comm.RoundView, _ comm.WorldState) {
+					if round == checkpoint {
+						switchesAtCheckpoint = u.Switches()
+					}
+				},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("T4: %s server %d: %w", v.name, srvIdx, err)
+			}
+			if goal.CompactAchieved(g, res.History, 10) {
+				succ++
+			}
+			if switchesAtCheckpoint >= 0 && u.Switches() == switchesAtCheckpoint {
+				settled++
+			}
+			switches = append(switches, float64(u.Switches()))
+		}
+
+		// False-positive probe: pair with the lying printer and ask
+		// whether the sensing's final indication is positive despite
+		// the goal being unachieved.
+		falsePos := 0
+		u, err := universal.NewCompactUser(printing.Enum(fam), v.mk())
+		if err != nil {
+			return nil, fmt.Errorf("T4: %s: %w", v.name, err)
+		}
+		var liar comm.Strategy = &printing.LyingServer{}
+		res, err := system.Run(u, liar, g.NewWorld(goal.Env{}), system.Config{
+			MaxRounds: horizon, Seed: cfg.seed(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("T4: %s liar: %w", v.name, err)
+		}
+		achieved := goal.CompactAchieved(g, res.History, 10)
+		if sensing.Replay(v.mk(), res.View) && !achieved {
+			falsePos = 1
+		}
+
+		tbl.AddRow(
+			v.name,
+			harness.Percent(succ, famSize),
+			harness.Percent(settled, famSize),
+			harness.Percent(falsePos, 1),
+			harness.F(harness.Mean(switches)),
+		)
+	}
+	return &harness.Report{Tables: []*harness.Table{tbl}}, nil
+}

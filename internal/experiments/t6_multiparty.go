@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dialect"
+	"repro/internal/harness"
+	"repro/internal/multiparty"
+	"repro/internal/xrand"
+)
+
+// RunT6 quantifies the multi-party reduction: a coordinator collects every
+// member's value through pairwise universal sessions (the full version's
+// reduction of the symmetric setting to the two-party setting), paying the
+// per-pair enumeration overhead, versus the native agreed-standard
+// baseline.
+func RunT6(cfg Config) (*harness.Report, error) {
+	ks := []int{2, 3, 4, 6, 8}
+	famSize := 8
+	if cfg.Quick {
+		ks = []int{2, 3}
+		famSize = 4
+	}
+
+	fam, err := dialect.NewWordFamily(multiparty.Vocabulary(), famSize)
+	if err != nil {
+		return nil, fmt.Errorf("T6: %w", err)
+	}
+
+	tbl := &harness.Table{
+		ID:      "T6",
+		Title:   "symmetric max-value goal: reduction to two-party sessions",
+		Columns: []string{"parties", "native rounds", "reduction rounds", "overhead x", "correct max"},
+		Notes: []string{
+			fmt.Sprintf("dialect family size %d; member dialects drawn deterministically from the seed", famSize),
+			"native = coordinator told each member's dialect (designed-together baseline)",
+			"reduction = per-member compact universal user with report sensing",
+		},
+	}
+
+	gossipTbl := &harness.Table{
+		ID:      "T6b",
+		Title:   "fully symmetric setting: all-to-all gossip (k·(k−1) sessions)",
+		Columns: []string{"parties", "sessions", "total rounds", "consensus"},
+		Notes: []string{
+			"every member plays coordinator in turn; consensus requires all members to agree on the full vector",
+		},
+	}
+
+	for _, k := range ks {
+		r := xrand.New(cfg.seed() + uint64(k))
+		members := make([]*multiparty.Member, k)
+		wantMax := 0
+		for i := range members {
+			v := r.Intn(1000)
+			if v > wantMax {
+				wantMax = v
+			}
+			members[i] = &multiparty.Member{Value: v, D: fam.Dialect(r.Intn(famSize))}
+		}
+
+		native, err := multiparty.LearnValues(members, fam, multiparty.Config{
+			Seed: cfg.seed(), Oracle: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("T6: native k=%d: %w", k, err)
+		}
+		reduction, err := multiparty.LearnValues(members, fam, multiparty.Config{
+			Seed: cfg.seed(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("T6: reduction k=%d: %w", k, err)
+		}
+
+		gotMax, err := reduction.Max()
+		if err != nil {
+			return nil, fmt.Errorf("T6: reduction k=%d: %w", k, err)
+		}
+		correct := "yes"
+		if gotMax != wantMax {
+			correct = fmt.Sprintf("NO (%d != %d)", gotMax, wantMax)
+		}
+
+		overhead := float64(reduction.TotalRounds) / float64(native.TotalRounds)
+		tbl.AddRow(
+			harness.I(k),
+			harness.I(native.TotalRounds),
+			harness.I(reduction.TotalRounds),
+			harness.F(overhead),
+			correct,
+		)
+
+		gossip, err := multiparty.GossipAll(members, fam, multiparty.Config{Seed: cfg.seed()})
+		if err != nil {
+			return nil, fmt.Errorf("T6: gossip k=%d: %w", k, err)
+		}
+		consensus := "no"
+		if maxG, err := gossip.Consensus(); err == nil && maxG == wantMax {
+			consensus = "yes"
+		}
+		gossipTbl.AddRow(
+			harness.I(k),
+			harness.I(k*(k-1)),
+			harness.I(gossip.TotalRounds),
+			consensus,
+		)
+	}
+	return &harness.Report{Tables: []*harness.Table{tbl, gossipTbl}}, nil
+}

@@ -1,0 +1,130 @@
+package goal_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/goal"
+)
+
+func hist(states ...string) comm.History {
+	ws := make([]comm.WorldState, len(states))
+	for i, s := range states {
+		ws[i] = comm.WorldState(s)
+	}
+	return comm.History{States: ws}
+}
+
+func lastIs(want string) goal.RefereeFunc {
+	return func(p comm.History) bool { return string(p.Last()) == want }
+}
+
+func TestAndReferees(t *testing.T) {
+	t.Parallel()
+
+	both := goal.AndReferees(lastIs("x"), func(p comm.History) bool { return p.Len() >= 2 })
+	if both(hist("x")) {
+		t.Fatal("short prefix accepted")
+	}
+	if !both(hist("y", "x")) {
+		t.Fatal("satisfying prefix rejected")
+	}
+	if both(hist("x", "y")) {
+		t.Fatal("wrong last state accepted")
+	}
+	// Empty conjunction is vacuously true.
+	if !goal.AndReferees()(hist("x")) {
+		t.Fatal("empty AndReferees not vacuous")
+	}
+}
+
+func TestOrReferees(t *testing.T) {
+	t.Parallel()
+
+	either := goal.OrReferees(lastIs("a"), lastIs("b"))
+	if !either(hist("a")) || !either(hist("b")) {
+		t.Fatal("accepting branch rejected")
+	}
+	if either(hist("c")) {
+		t.Fatal("no-branch prefix accepted")
+	}
+	if goal.OrReferees()(hist("a")) {
+		t.Fatal("empty OrReferees not vacuously false")
+	}
+}
+
+func TestNotAndSince(t *testing.T) {
+	t.Parallel()
+
+	notA := goal.NotReferee(lastIs("a"))
+	if notA(hist("a")) || !notA(hist("b")) {
+		t.Fatal("NotReferee wrong")
+	}
+	late := goal.Since(3, lastIs("a"))
+	if late(hist("a")) {
+		t.Fatal("Since accepted before round 3")
+	}
+	if !late(hist("x", "y", "a")) {
+		t.Fatal("Since rejected after round 3")
+	}
+}
+
+// thriftyPrinting derives "print the target AND never exceed a sheet
+// budget" from snapshots of the printing world's form
+// "target=T;printed=N;done=D".
+func printedCount(p comm.History) int {
+	for _, part := range strings.Split(string(p.Last()), ";") {
+		if rest, ok := strings.CutPrefix(part, "printed="); ok {
+			n, err := strconv.Atoi(rest)
+			if err == nil {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+func TestWithRefereeDerivedGoal(t *testing.T) {
+	t.Parallel()
+
+	base := &stubCompactGoal{}
+	thrifty := goal.WithReferee(base, "printing-thrifty", goal.AndReferees(
+		func(p comm.History) bool { return strings.HasSuffix(string(p.Last()), "done=1") },
+		func(p comm.History) bool { return printedCount(p) <= 3 },
+	))
+	if thrifty.Name() != "printing-thrifty" || thrifty.Kind() != goal.KindCompact {
+		t.Fatal("derived goal metadata wrong")
+	}
+	if thrifty.EnvChoices() != base.EnvChoices() {
+		t.Fatal("derived goal env choices wrong")
+	}
+
+	frugal := hist("target=t;printed=2;done=1")
+	waste := hist("target=t;printed=9;done=1")
+	undone := hist("target=t;printed=1;done=0")
+	if !thrifty.Acceptable(frugal) {
+		t.Fatal("frugal success rejected")
+	}
+	if thrifty.Acceptable(waste) {
+		t.Fatal("wasteful success accepted")
+	}
+	if thrifty.Acceptable(undone) {
+		t.Fatal("unfinished prefix accepted")
+	}
+	// The base referee is unchanged.
+	if !base.Acceptable(waste) {
+		t.Fatal("base goal corrupted by derivation")
+	}
+}
+
+type stubCompactGoal struct{}
+
+func (*stubCompactGoal) Name() string                 { return "stub" }
+func (*stubCompactGoal) Kind() goal.Kind              { return goal.KindCompact }
+func (*stubCompactGoal) NewWorld(goal.Env) goal.World { return nil }
+func (*stubCompactGoal) EnvChoices() int              { return 2 }
+func (*stubCompactGoal) Acceptable(p comm.History) bool {
+	return strings.HasSuffix(string(p.Last()), "done=1")
+}

@@ -1,0 +1,433 @@
+// Package control implements an actuation goal with a different flavour of
+// incompatibility: the server *understands* every command but interprets
+// its numeric argument in its own calibration (a constant offset in raw
+// units). Misunderstanding here is quantitative, not lexical — wrong
+// candidates actively move the plant to the wrong place rather than being
+// ignored.
+//
+// The cast:
+//
+//   - World: a one-dimensional plant. The server applies bounded forces;
+//     the world reports position and setpoint to the user. The compact goal
+//     is achieved once the plant sits at the setpoint.
+//   - Server: an actuator whose zero point is offset by its calibration
+//     (Units dialect). A command "MOVE w" moves the plant by clamp(w − o).
+//   - Users: Candidate i assumes calibration i (the enumeration class);
+//     Adaptive identifies the calibration from one probe and then controls
+//     exactly — the paper's closing observation that special classes admit
+//     algorithms far better than generic enumeration.
+//
+// With a mismatched candidate the closed loop has a non-zero fixed point
+// (steady-state error equal to the calibration difference), so the plant
+// never reaches the setpoint and progress sensing evicts the candidate.
+package control
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/enumerate"
+	"repro/internal/goal"
+	"repro/internal/sensing"
+	"repro/internal/xrand"
+)
+
+// MaxForce bounds the per-round actuation in native units.
+const MaxForce = 10
+
+// DefaultPatience is the progress-sensing patience: rounds without the
+// error shrinking before a candidate is evicted.
+const DefaultPatience = 6
+
+func clamp(x, bound int) int {
+	if x > bound {
+		return bound
+	}
+	if x < -bound {
+		return -bound
+	}
+	return x
+}
+
+// Units is the calibration dialect: it shifts the numeric argument of MOVE
+// commands by a constant offset, leaving every other message untouched.
+// Encode adds the offset (user's intended value → wire), Decode subtracts
+// it (wire → server's native units).
+type Units struct {
+	// Off is the calibration offset; the matching server cancels it.
+	Off int
+	// Idx is the dialect's index within its family.
+	Idx int
+}
+
+var _ dialect.Dialect = Units{}
+
+// ID implements dialect.Dialect.
+func (u Units) ID() int { return u.Idx }
+
+// Name implements dialect.Dialect.
+func (u Units) Name() string { return fmt.Sprintf("units(%+d)#%d", u.Off, u.Idx) }
+
+func shiftMove(m comm.Message, delta int) comm.Message {
+	rest, ok := strings.CutPrefix(string(m), "MOVE ")
+	if !ok {
+		return m
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return m
+	}
+	return comm.Message("MOVE " + strconv.Itoa(n+delta))
+}
+
+// Encode implements dialect.Dialect.
+func (u Units) Encode(m comm.Message) comm.Message { return shiftMove(m, u.Off) }
+
+// Decode implements dialect.Dialect.
+func (u Units) Decode(m comm.Message) comm.Message { return shiftMove(m, -u.Off) }
+
+// OffsetFor returns the calibration offset assigned to family index i:
+// 0, +1, −1, +2, −2, ... so that |offset| ≤ ⌈n/2⌉ stays within the force
+// bound for the class sizes the experiments use.
+func OffsetFor(i int) int {
+	if i == 0 {
+		return 0
+	}
+	mag := (i + 1) / 2
+	if i%2 == 1 {
+		return mag
+	}
+	return -mag
+}
+
+// NewUnitsFamily builds the calibration class of size n. Offsets exceeding
+// MaxForce would make the actuator unable to cancel its own calibration on
+// small commands, so n is capped at 2*MaxForce+1.
+func NewUnitsFamily(n int) (*dialect.Family, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("control: family size %d < 1", n)
+	}
+	if n > 2*MaxForce+1 {
+		return nil, fmt.Errorf("control: family size %d exceeds calibration range %d",
+			n, 2*MaxForce+1)
+	}
+	ds := make([]dialect.Dialect, n)
+	for i := range ds {
+		ds[i] = Units{Off: OffsetFor(i), Idx: i}
+	}
+	return dialect.NewFamily("units", ds)
+}
+
+// Goal is the compact actuation goal: the plant must sit at the setpoint.
+// Env.Choice selects the (setpoint, start) pair.
+type Goal struct {
+	// Span bounds the |setpoint| and |start| magnitude; 0 means 40.
+	Span int
+}
+
+var (
+	_ goal.CompactGoal = (*Goal)(nil)
+	_ goal.Forgiving   = (*Goal)(nil)
+)
+
+func (g *Goal) span() int {
+	if g.Span <= 0 {
+		return 40
+	}
+	return g.Span
+}
+
+// Name implements goal.Goal.
+func (g *Goal) Name() string { return "control" }
+
+// Kind implements goal.Goal.
+func (g *Goal) Kind() goal.Kind { return goal.KindCompact }
+
+// EnvChoices implements goal.Goal.
+func (g *Goal) EnvChoices() int { return 8 }
+
+// NewWorld implements goal.Goal.
+func (g *Goal) NewWorld(env goal.Env) goal.World {
+	r := xrand.New(uint64(env.Choice)*0xD1B54A32D192ED03 + env.Seed + 7)
+	span := g.span()
+	initPos := r.Intn(2*span+1) - span
+	return &World{
+		initPos: initPos,
+		pos:     initPos,
+		set:     r.Intn(2*span+1) - span,
+	}
+}
+
+// Acceptable implements goal.CompactGoal.
+func (g *Goal) Acceptable(prefix comm.History) bool {
+	return strings.HasSuffix(string(prefix.Last()), "at=1")
+}
+
+// ForgivingGoal implements goal.Forgiving: the plant can always still be
+// driven to the setpoint.
+func (g *Goal) ForgivingGoal() bool { return true }
+
+// World is the plant. It applies "FORCE <f>" from the server (clamped to
+// MaxForce) and reports "POS <p>|SET <s>" to the user every round.
+// Snapshot: "pos=<p>;set=<s>;at=<0|1>".
+type World struct {
+	initPos  int
+	pos, set int
+}
+
+var _ goal.World = (*World)(nil)
+
+// Reset implements comm.Strategy.
+func (w *World) Reset(*xrand.Rand) { w.pos = w.initPos }
+
+// Pos returns the current plant position (for tests).
+func (w *World) Pos() int { return w.pos }
+
+// Step implements comm.Strategy.
+func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {
+	if rest, ok := strings.CutPrefix(string(in.FromServer), "FORCE "); ok {
+		if f, err := strconv.Atoi(rest); err == nil {
+			w.pos += clamp(f, MaxForce)
+		}
+	}
+	msg := fmt.Sprintf("POS %d|SET %d", w.pos, w.set)
+	return comm.Outbox{ToUser: comm.Message(msg)}, nil
+}
+
+// Snapshot implements goal.World.
+func (w *World) Snapshot() comm.WorldState {
+	at := 0
+	if w.pos == w.set {
+		at = 1
+	}
+	return comm.WorldState(fmt.Sprintf("pos=%d;set=%d;at=%d", w.pos, w.set, at))
+}
+
+// ParsePlant decodes the world's status message.
+func ParsePlant(m comm.Message) (pos, set int, ok bool) {
+	posPart, setPart, found := strings.Cut(string(m), "|")
+	if !found {
+		return 0, 0, false
+	}
+	ps, ok1 := strings.CutPrefix(posPart, "POS ")
+	ss, ok2 := strings.CutPrefix(setPart, "SET ")
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	p, err1 := strconv.Atoi(ps)
+	s, err2 := strconv.Atoi(ss)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return p, s, true
+}
+
+// Server is the actuator's native protocol: "MOVE <n>" applies a force of
+// n native units (clamped) and acknowledges "MOVED <n>". Wrap with
+// server.Dialected and a Units dialect to obtain a calibration-offset
+// class.
+type Server struct{}
+
+var _ comm.Strategy = (*Server)(nil)
+
+// Reset implements comm.Strategy.
+func (*Server) Reset(*xrand.Rand) {}
+
+// Step implements comm.Strategy.
+func (*Server) Step(in comm.Inbox) (comm.Outbox, error) {
+	rest, ok := strings.CutPrefix(string(in.FromUser), "MOVE ")
+	if !ok {
+		return comm.Outbox{}, nil
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return comm.Outbox{}, nil
+	}
+	n = clamp(n, MaxForce)
+	return comm.Outbox{
+		ToUser:  comm.Message("MOVED " + strconv.Itoa(n)),
+		ToWorld: comm.Message("FORCE " + strconv.Itoa(n)),
+	}, nil
+}
+
+// CycleRounds is the command→actuation→telemetry feedback latency: a
+// command sent at round t moves the plant at t+2 and is visible to the
+// user at t+3. Controllers issue one command per cycle; acting every round
+// against stale telemetry would triple-apply each correction and oscillate.
+const CycleRounds = 3
+
+// Candidate is the calibration-i controller: proportional control encoded
+// in dialect i, one command per feedback cycle. With the matching server
+// the applied force equals the intended correction; otherwise the closed
+// loop sticks at a non-zero steady-state error.
+type Candidate struct {
+	// D is the calibration dialect this candidate assumes.
+	D dialect.Dialect
+
+	phase int
+}
+
+var _ comm.Strategy = (*Candidate)(nil)
+
+// Reset implements comm.Strategy.
+func (c *Candidate) Reset(*xrand.Rand) { c.phase = 0 }
+
+// Step implements comm.Strategy.
+func (c *Candidate) Step(in comm.Inbox) (comm.Outbox, error) {
+	defer func() { c.phase++ }()
+	if c.phase%CycleRounds != 0 {
+		return comm.Outbox{}, nil
+	}
+	pos, set, ok := ParsePlant(in.FromWorld)
+	if !ok || pos == set {
+		return comm.Outbox{}, nil
+	}
+	d := clamp(set-pos, MaxForce)
+	cmd := comm.Message("MOVE " + strconv.Itoa(d))
+	return comm.Outbox{ToServer: c.D.Encode(cmd)}, nil
+}
+
+// Enum enumerates one Candidate per calibration in the family.
+func Enum(fam *dialect.Family) enumerate.Enumerator {
+	return enumerate.FromFunc("control/"+fam.Name(), fam.Size(), func(i int) comm.Strategy {
+		return &Candidate{D: fam.Dialect(i)}
+	})
+}
+
+// Sense is positive while the plant is at the setpoint or the absolute
+// error shrank within the patience window. Safe — a stuck non-zero error
+// is exactly goal failure — and viable, since the matching candidate
+// shrinks the error every control cycle.
+func Sense(patience int) sensing.Sense {
+	if patience <= 0 {
+		patience = DefaultPatience
+	}
+	return &errorSense{patience: patience}
+}
+
+type errorSense struct {
+	patience int
+	started  bool
+	best     int
+	idle     int
+}
+
+var _ sensing.Sense = (*errorSense)(nil)
+
+func (s *errorSense) Reset() {
+	s.started = false
+	s.best = 0
+	s.idle = 0
+}
+
+func (s *errorSense) Observe(rv comm.RoundView) bool {
+	pos, set, ok := ParsePlant(rv.In.FromWorld)
+	if !ok {
+		return true // no telemetry yet: grace
+	}
+	errAbs := pos - set
+	if errAbs < 0 {
+		errAbs = -errAbs
+	}
+	if errAbs == 0 {
+		s.idle = 0
+		return true
+	}
+	if !s.started || errAbs < s.best {
+		s.started = true
+		s.best = errAbs
+		s.idle = 0
+		return true
+	}
+	s.idle++
+	return s.idle < s.patience
+}
+
+// Adaptive is the system-identification controller: it sends a zero-force
+// probe, waits one feedback cycle, reads off the server's calibration from
+// the plant's reaction, and from then on compensates exactly — one command
+// per cycle. One strategy compatible with the entire calibration class,
+// the "better performance in special cases of interest" the paper's
+// discussion closes with.
+type Adaptive struct {
+	phase   int
+	probed  bool
+	probeAt int // phase at which the probe was sent; -1 = not sent
+	lastPos int
+	offset  int
+}
+
+var _ comm.Strategy = (*Adaptive)(nil)
+
+// Reset implements comm.Strategy.
+func (a *Adaptive) Reset(*xrand.Rand) {
+	a.phase = 0
+	a.probed = false
+	a.probeAt = -1
+	a.lastPos = 0
+	a.offset = 0
+}
+
+// Offset returns the identified calibration (valid once probing is done).
+func (a *Adaptive) Offset() int { return a.offset }
+
+// Step implements comm.Strategy.
+func (a *Adaptive) Step(in comm.Inbox) (comm.Outbox, error) {
+	defer func() { a.phase++ }()
+	pos, set, ok := ParsePlant(in.FromWorld)
+	if !ok {
+		return comm.Outbox{}, nil
+	}
+
+	if !a.probed {
+		if a.probeAt < 0 {
+			// Probe: "MOVE 0" in wire units; the server applies
+			// clamp(0 − offset) one cycle later.
+			a.probeAt = a.phase
+			a.lastPos = pos
+			return comm.Outbox{ToServer: "MOVE 0"}, nil
+		}
+		if a.phase < a.probeAt+CycleRounds {
+			return comm.Outbox{}, nil // probe still in flight
+		}
+		a.offset = -(pos - a.lastPos)
+		a.probed = true
+		// Fall through into the control law this same round.
+	}
+
+	if (a.phase-a.probeAt)%CycleRounds != 0 {
+		return comm.Outbox{}, nil
+	}
+	if pos == set {
+		return comm.Outbox{}, nil
+	}
+	// Intended native force d must satisfy |d + offset| ≤ MaxForce so
+	// the server's clamp doesn't distort it.
+	d := clamp(set-pos, MaxForce-abs(a.offset))
+	if d == 0 {
+		d = sign(set - pos)
+	}
+	cmd := "MOVE " + strconv.Itoa(d+a.offset)
+	return comm.Outbox{ToServer: comm.Message(cmd)}, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}

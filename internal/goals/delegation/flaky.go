@@ -1,0 +1,137 @@
+package delegation
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/enumerate"
+	"repro/internal/xrand"
+)
+
+// FlakyServer wraps the solver so that each witness it returns is
+// corrupted with probability P — a buggy or overloaded component. The
+// finite-goal machinery absorbs it: the verification-based sensing rejects
+// corrupted attempts (safety), and the dovetailed retries eventually catch
+// an honest reply, so the flaky solver remains helpful, just slower.
+type FlakyServer struct {
+	// P is the corruption probability in [0, 1].
+	P float64
+
+	inner Server
+	r     *xrand.Rand
+}
+
+var _ comm.Strategy = (*FlakyServer)(nil)
+
+// Reset implements comm.Strategy.
+func (s *FlakyServer) Reset(r *xrand.Rand) {
+	s.inner.Reset(r)
+	if r != nil {
+		s.r = r.Split()
+	} else {
+		s.r = xrand.New(0)
+	}
+}
+
+// Step implements comm.Strategy.
+func (s *FlakyServer) Step(in comm.Inbox) (comm.Outbox, error) {
+	out, err := s.inner.Step(in)
+	if err != nil {
+		return comm.Outbox{}, err
+	}
+	rest, ok := strings.CutPrefix(string(out.ToUser), rspWitness+" ")
+	if !ok || s.r.Float64() >= s.P {
+		return out, nil
+	}
+	mask, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return out, nil
+	}
+	// Corrupt the witness by flipping its lowest bit: almost surely no
+	// longer a valid subset for the target.
+	out.ToUser = comm.Message(rspWitness + " " + strconv.FormatUint(mask^1, 10))
+	return out, nil
+}
+
+// VerifyingCandidate is the hardened delegation user: it verifies each
+// received witness locally and only submits (and halts on) a correct one,
+// re-querying the server otherwise. Against flaky solvers this converts
+// wasted whole attempts into cheap in-attempt retries — an instance of the
+// paper's closing remark that special cases admit better performance than
+// the generic enumeration.
+type VerifyingCandidate struct {
+	// D is the dialect this candidate speaks to the server.
+	D dialect.Dialect
+
+	instance  string
+	submitted bool
+	halted    bool
+	elapsed   int
+	rejected  int
+}
+
+var (
+	_ comm.Strategy = (*VerifyingCandidate)(nil)
+	_ comm.Halter   = (*VerifyingCandidate)(nil)
+)
+
+// Reset implements comm.Strategy.
+func (c *VerifyingCandidate) Reset(*xrand.Rand) {
+	c.instance = ""
+	c.submitted = false
+	c.halted = false
+	c.elapsed = 0
+	c.rejected = 0
+}
+
+// Rejected returns how many bad witnesses this candidate filtered out.
+func (c *VerifyingCandidate) Rejected() int { return c.rejected }
+
+// Step implements comm.Strategy.
+func (c *VerifyingCandidate) Step(in comm.Inbox) (comm.Outbox, error) {
+	defer func() { c.elapsed++ }()
+
+	if rest, ok := strings.CutPrefix(string(in.FromWorld), "INSTANCE "); ok {
+		c.instance = rest
+	}
+	if c.submitted {
+		c.halted = true
+		return comm.Outbox{}, nil
+	}
+
+	plain := c.D.Decode(in.FromServer)
+	if rest, ok := strings.CutPrefix(string(plain), rspWitness+" "); ok && c.instance != "" {
+		mask, err := strconv.ParseUint(rest, 10, 64)
+		if err == nil {
+			ins, insOK := ParseInstance(c.instance)
+			if insOK && ins.Verify(mask) {
+				c.submitted = true
+				return comm.Outbox{ToWorld: comm.Message("ANSWER " + rest)}, nil
+			}
+			// Bad witness: count it and fall through to re-query.
+			c.rejected++
+		}
+	}
+
+	if c.instance == "" {
+		return comm.Outbox{}, nil
+	}
+	if c.elapsed%2 == 0 {
+		return comm.Outbox{
+			ToServer: c.D.Encode(comm.Message(cmdSolve + " " + c.instance)),
+		}, nil
+	}
+	return comm.Outbox{}, nil
+}
+
+// Halted implements comm.Halter.
+func (c *VerifyingCandidate) Halted() bool { return c.halted }
+
+// VerifyingEnum enumerates one VerifyingCandidate per dialect.
+func VerifyingEnum(fam *dialect.Family) enumerate.Enumerator {
+	return enumerate.FromFunc("delegation-verifying/"+fam.Name(), fam.Size(), func(i int) comm.Strategy {
+		return &VerifyingCandidate{D: fam.Dialect(i)}
+	})
+}

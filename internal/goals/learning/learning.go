@@ -1,0 +1,453 @@
+// Package learning implements the prediction goal behind Juba and Vempala's
+// "Semantic Communication for Simple Goals is Equivalent to On-line
+// Learning" — the follow-up direction the paper's §3 closes with.
+//
+// The world repeatedly poses queries x from a finite domain and the user
+// must predict the label assigned by a hidden threshold concept; the
+// compact goal is achieved iff the user makes only finitely many mistakes.
+// The equivalence made executable:
+//
+//   - The generic universal user (enumerate concepts, switch on mistake) is
+//     exactly the CONSERVATIVE online learner, with mistake bound O(M).
+//   - The halving algorithm (binary search over the threshold class) is an
+//     efficient universal user with mistake bound O(log M).
+//   - A fixed wrong concept incurs unboundedly many mistakes, so the goal
+//     fails.
+//
+// The server plays no role in this "simple goal": the knowledge gap is
+// between user and world, which is what makes the goal equivalent to
+// learning.
+package learning
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/enumerate"
+	"repro/internal/goal"
+	"repro/internal/sensing"
+	"repro/internal/xrand"
+)
+
+// StallLimit is the number of rounds the world tolerates without an answer
+// before the referee deems the prefix unacceptable: a silent user does not
+// achieve the prediction goal.
+const StallLimit = 8
+
+// Goal is the compact prediction goal over the threshold concept class on
+// the domain [0, M). Env.Choice selects the hidden concept.
+type Goal struct {
+	// M is the domain / concept-class size; 0 means 64.
+	M int
+
+	// Adversary selects the teacher-adversary query schedule (see
+	// World.Adversary) instead of uniform random queries.
+	Adversary bool
+}
+
+var (
+	_ goal.CompactGoal = (*Goal)(nil)
+	_ goal.Forgiving   = (*Goal)(nil)
+)
+
+func (g *Goal) m() int {
+	if g.M <= 0 {
+		return 64
+	}
+	return g.M
+}
+
+// Name implements goal.Goal.
+func (g *Goal) Name() string { return "learning" }
+
+// Kind implements goal.Goal.
+func (g *Goal) Kind() goal.Kind { return goal.KindCompact }
+
+// EnvChoices implements goal.Goal.
+func (g *Goal) EnvChoices() int { return g.m() }
+
+// NewWorld implements goal.Goal.
+func (g *Goal) NewWorld(env goal.Env) goal.World {
+	m := g.m()
+	c := env.Choice % m
+	if c < 0 {
+		c += m
+	}
+	return &World{M: m, Concept: c, Adversary: g.Adversary}
+}
+
+// Acceptable implements goal.CompactGoal: a prefix is acceptable iff the
+// user has answered at least one query, the most recent answer was correct,
+// and the user is not stalling. Unacceptable prefixes are exactly the
+// mistake (and stall) rounds, so "finitely many unacceptable prefixes" is
+// "finitely many mistakes".
+func (g *Goal) Acceptable(prefix comm.History) bool {
+	st, ok := ParseState(prefix.Last())
+	return ok && st.Answered > 0 && st.LastOK == 1 && st.Stall <= StallLimit
+}
+
+// ForgivingGoal implements goal.Forgiving.
+func (g *Goal) ForgivingGoal() bool { return true }
+
+// Label is the threshold concept: concept c labels x as 1 iff x >= c.
+func Label(concept, x int) int {
+	if x >= concept {
+		return 1
+	}
+	return 0
+}
+
+// State is the parsed form of the world's snapshot.
+type State struct {
+	Answered int
+	Mistakes int
+	// LastOK is 1 if the most recent answered query was correct, 0 if
+	// it was a mistake, -1 if nothing has been answered.
+	LastOK int
+	// Stall is the number of rounds the current query has gone
+	// unanswered.
+	Stall int
+}
+
+// ParseState decodes a World snapshot.
+func ParseState(ws comm.WorldState) (State, bool) {
+	st := State{LastOK: -1}
+	for _, part := range strings.Split(string(ws), ";") {
+		key, val, found := strings.Cut(part, "=")
+		if !found {
+			return State{}, false
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return State{}, false
+		}
+		switch key {
+		case "answered":
+			st.Answered = n
+		case "mistakes":
+			st.Mistakes = n
+		case "lastok":
+			st.LastOK = n
+		case "stall":
+			st.Stall = n
+		default:
+			return State{}, false
+		}
+	}
+	return st, true
+}
+
+// World poses queries and grades answers.
+//
+// World→user message: "Q <id> <x>|RES <previd> <ok|bad|none>".
+// User→world answer: "P <id> <bit>". Answers to stale ids are ignored, so
+// repeated answers never double-count.
+type World struct {
+	// M is the domain size; Concept the hidden threshold.
+	M       int
+	Concept int
+
+	// Adversary switches the query schedule from uniform random to a
+	// teacher-adversary: each query bisects the set of concepts still
+	// consistent with the labels revealed so far, maximizing how long a
+	// learner stays uncertain. Under this schedule the halving learner
+	// is pushed toward its full ⌈log₂M⌉ mistake bound.
+	Adversary bool
+
+	r        *xrand.Rand
+	id       int
+	x        int
+	answered int
+	mistakes int
+	lastOK   int // -1 none, 0 mistake, 1 correct
+	stall    int
+	lo, hi   int // concepts consistent with revealed labels
+}
+
+var _ goal.World = (*World)(nil)
+
+// Reset implements comm.Strategy.
+func (w *World) Reset(r *xrand.Rand) {
+	if r == nil {
+		r = xrand.New(1)
+	}
+	w.r = r
+	w.id = 1
+	w.answered = 0
+	w.mistakes = 0
+	w.lastOK = -1
+	w.stall = 0
+	w.lo, w.hi = 0, w.domain()-1
+	w.x = w.pick()
+}
+
+// pick chooses the next query point per the configured schedule.
+func (w *World) pick() int {
+	if !w.Adversary {
+		return w.r.Intn(w.domain())
+	}
+	if w.lo < w.hi {
+		// Bisect the revealed-consistent concept interval: concepts
+		// c <= x answer 1, so the midpoint splits [lo, hi] evenly.
+		return (w.lo + w.hi) / 2
+	}
+	// Concept fully revealed: keep probing around the boundary (labels
+	// are now determined for any consistent learner).
+	if w.Concept > 0 && w.r.Bool() {
+		return w.Concept - 1
+	}
+	return w.Concept % w.domain()
+}
+
+func (w *World) domain() int {
+	if w.M <= 0 {
+		return 64
+	}
+	return w.M
+}
+
+// Mistakes returns the mistake count so far (for experiment metrics).
+func (w *World) Mistakes() int { return w.mistakes }
+
+// Answered returns how many queries have been graded.
+func (w *World) Answered() int { return w.answered }
+
+// Step implements comm.Strategy.
+func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {
+	w.stall++
+	if rest, ok := strings.CutPrefix(string(in.FromUser), "P "); ok {
+		fields := strings.Fields(rest)
+		if len(fields) == 2 {
+			id, err1 := strconv.Atoi(fields[0])
+			bit, err2 := strconv.Atoi(fields[1])
+			if err1 == nil && err2 == nil && id == w.id && (bit == 0 || bit == 1) {
+				w.answered++
+				trueLabel := Label(w.Concept, w.x)
+				if bit == trueLabel {
+					w.lastOK = 1
+				} else {
+					w.lastOK = 0
+					w.mistakes++
+				}
+				// Narrow the revealed-consistent interval: label 1
+				// means c* <= x, label 0 means c* > x.
+				if trueLabel == 1 {
+					if w.x < w.hi {
+						w.hi = w.x
+					}
+				} else if w.x+1 > w.lo {
+					w.lo = w.x + 1
+				}
+				w.id++
+				w.x = w.pick()
+				w.stall = 0
+			}
+		}
+	}
+	res := "none"
+	switch w.lastOK {
+	case 1:
+		res = "ok"
+	case 0:
+		res = "bad"
+	}
+	msg := fmt.Sprintf("Q %d %d|RES %d %s", w.id, w.x, w.id-1, res)
+	return comm.Outbox{ToUser: comm.Message(msg)}, nil
+}
+
+// Snapshot implements goal.World.
+func (w *World) Snapshot() comm.WorldState {
+	return comm.WorldState(fmt.Sprintf("answered=%d;mistakes=%d;lastok=%d;stall=%d",
+		w.answered, w.mistakes, w.lastOK, w.stall))
+}
+
+// Query is the parsed form of a world announcement.
+type Query struct {
+	ID, X int
+	ResID int
+	Res   string // "ok", "bad" or "none"
+}
+
+// ParseQuery decodes a world→user message.
+func ParseQuery(m comm.Message) (Query, bool) {
+	qPart, resPart, found := strings.Cut(string(m), "|")
+	if !found {
+		return Query{}, false
+	}
+	var q Query
+	if _, err := fmt.Sscanf(qPart, "Q %d %d", &q.ID, &q.X); err != nil {
+		return Query{}, false
+	}
+	fields := strings.Fields(resPart)
+	if len(fields) != 3 || fields[0] != "RES" {
+		return Query{}, false
+	}
+	resID, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Query{}, false
+	}
+	q.ResID = resID
+	q.Res = fields[2]
+	if q.Res != "ok" && q.Res != "bad" && q.Res != "none" {
+		return Query{}, false
+	}
+	return q, true
+}
+
+// ThresholdUser predicts with one fixed threshold concept — candidate
+// strategy c of the enumeration, and (alone) the fixed-protocol baseline.
+type ThresholdUser struct {
+	Concept int
+
+	lastID int
+}
+
+var _ comm.Strategy = (*ThresholdUser)(nil)
+
+// Reset implements comm.Strategy.
+func (u *ThresholdUser) Reset(*xrand.Rand) { u.lastID = 0 }
+
+// Step implements comm.Strategy.
+func (u *ThresholdUser) Step(in comm.Inbox) (comm.Outbox, error) {
+	q, ok := ParseQuery(in.FromWorld)
+	if !ok || q.ID == u.lastID {
+		return comm.Outbox{}, nil
+	}
+	u.lastID = q.ID
+	ans := fmt.Sprintf("P %d %d", q.ID, Label(u.Concept, q.X))
+	return comm.Outbox{ToWorld: comm.Message(ans)}, nil
+}
+
+// Enum enumerates the M threshold candidates in order; paired with
+// MistakeSense it forms the generic (conservative-learner) universal user.
+func Enum(m int) enumerate.Enumerator {
+	return enumerate.FromFunc(fmt.Sprintf("thresholds(%d)", m), m, func(i int) comm.Strategy {
+		return &ThresholdUser{Concept: i}
+	})
+}
+
+// MistakeSense gives a negative indication exactly when the world first
+// grades one of the *current pairing's own* answers as a mistake. The world
+// repeats its last grading every round, so the sense tracks which query ids
+// this pairing answered (visible in the user's own outbox) and penalizes
+// each graded mistake once. It is safe — a candidate that keeps erring
+// keeps receiving negative indications — and viable, since the true concept
+// never errs.
+func MistakeSense() sensing.Sense { return &mistakeSense{} }
+
+type mistakeSense struct {
+	answered map[int]bool
+}
+
+var _ sensing.Sense = (*mistakeSense)(nil)
+
+func (s *mistakeSense) Reset() { s.answered = nil }
+
+func (s *mistakeSense) Observe(rv comm.RoundView) bool {
+	if rest, ok := strings.CutPrefix(string(rv.Out.ToWorld), "P "); ok {
+		fields := strings.Fields(rest)
+		if len(fields) == 2 {
+			if id, err := strconv.Atoi(fields[0]); err == nil {
+				if s.answered == nil {
+					s.answered = make(map[int]bool, 4)
+				}
+				s.answered[id] = true
+			}
+		}
+	}
+	q, ok := ParseQuery(rv.In.FromWorld)
+	if !ok {
+		return true // no grading information this round
+	}
+	if q.Res == "bad" && s.answered[q.ResID] {
+		delete(s.answered, q.ResID) // penalize each mistake once
+		return false
+	}
+	return true
+}
+
+// HalvingUser is the efficient universal user: binary search over the
+// threshold class, mistake bound ⌈log2 M⌉. It tracks the version-space
+// interval [lo, hi] of concepts consistent with all feedback.
+type HalvingUser struct {
+	// M is the domain size; 0 means 64.
+	M int
+
+	lo, hi  int
+	lastID  int
+	pending map[int]answer // id → what we answered and for which x
+}
+
+type answer struct {
+	x   int
+	bit int
+}
+
+var _ comm.Strategy = (*HalvingUser)(nil)
+
+// Reset implements comm.Strategy.
+func (u *HalvingUser) Reset(*xrand.Rand) {
+	m := u.M
+	if m <= 0 {
+		m = 64
+	}
+	u.lo, u.hi = 0, m-1
+	u.lastID = 0
+	u.pending = make(map[int]answer, 4)
+}
+
+// Step implements comm.Strategy.
+func (u *HalvingUser) Step(in comm.Inbox) (comm.Outbox, error) {
+	q, ok := ParseQuery(in.FromWorld)
+	if !ok {
+		return comm.Outbox{}, nil
+	}
+
+	// Apply feedback for the query we answered previously: narrow the
+	// version space to concepts consistent with the revealed label.
+	if prev, have := u.pending[q.ResID]; have && q.Res != "none" {
+		trueBit := prev.bit
+		if q.Res == "bad" {
+			trueBit = 1 - prev.bit
+		}
+		if trueBit == 1 {
+			// Label(c, x) = 1 ⇒ c <= x.
+			if prev.x < u.hi {
+				u.hi = prev.x
+			}
+		} else {
+			// Label(c, x) = 0 ⇒ c > x.
+			if prev.x+1 > u.lo {
+				u.lo = prev.x + 1
+			}
+		}
+		if u.lo > u.hi {
+			// Inconsistent feedback (cannot happen with an honest
+			// world); restart the search rather than corrupting
+			// predictions.
+			m := u.M
+			if m <= 0 {
+				m = 64
+			}
+			u.lo, u.hi = 0, m-1
+		}
+		delete(u.pending, q.ResID)
+	}
+
+	if q.ID == u.lastID {
+		return comm.Outbox{}, nil
+	}
+	u.lastID = q.ID
+
+	// Majority vote of the version space [lo, hi]: concepts c <= x vote
+	// 1. Predict 1 iff at least half the interval is <= x.
+	mid := (u.lo + u.hi) / 2
+	bit := 0
+	if q.X >= mid {
+		bit = 1
+	}
+	u.pending[q.ID] = answer{x: q.X, bit: bit}
+	return comm.Outbox{ToWorld: comm.Message(fmt.Sprintf("P %d %d", q.ID, bit))}, nil
+}

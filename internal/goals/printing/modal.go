@@ -1,0 +1,103 @@
+package printing
+
+import (
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/enumerate"
+	"repro/internal/xrand"
+)
+
+// ModalServer is a printer with internal modes: it may start ASLEEP — the
+// paper's helpfulness definition quantifies over all server start states,
+// so a universal user must cope with whatever mode it finds the printer
+// in. While asleep it ignores print commands; a "STATUS" command wakes it.
+//
+// The plain Candidate never sends STATUS and so is NOT a witness of this
+// server's helpfulness; RobustCandidate (wake then print) is. This is the
+// paper's "helpful for a goal and a class of user strategies" nuance made
+// executable: helpfulness is relative to the candidate class.
+type ModalServer struct {
+	// StartAsleep pins the initial mode; if nil, the mode is drawn from
+	// the Reset generator (an arbitrary start state).
+	StartAsleep *bool
+
+	asleep bool
+	inner  Server
+}
+
+var _ comm.Strategy = (*ModalServer)(nil)
+
+// Reset implements comm.Strategy.
+func (s *ModalServer) Reset(r *xrand.Rand) {
+	s.inner.Reset(r)
+	if s.StartAsleep != nil {
+		s.asleep = *s.StartAsleep
+	} else if r != nil {
+		s.asleep = r.Bool()
+	} else {
+		s.asleep = true
+	}
+}
+
+// Asleep reports the current mode (for tests).
+func (s *ModalServer) Asleep() bool { return s.asleep }
+
+// Step implements comm.Strategy.
+func (s *ModalServer) Step(in comm.Inbox) (comm.Outbox, error) {
+	if string(in.FromUser) == cmdStatus {
+		s.asleep = false
+		return comm.Outbox{ToUser: rspReady}, nil
+	}
+	if s.asleep {
+		return comm.Outbox{}, nil
+	}
+	return s.inner.Step(in)
+}
+
+// RobustCandidate is the dialect-d printing user hardened against modal
+// printers: every cycle it first wakes the printer ("STATUS"), then issues
+// the print command. It also achieves the goal with the plain Server, so
+// the robust candidate class certifies helpfulness for both server kinds.
+type RobustCandidate struct {
+	// D is the dialect this candidate speaks to the server.
+	D dialect.Dialect
+
+	task    string
+	elapsed int
+}
+
+var _ comm.Strategy = (*RobustCandidate)(nil)
+
+// Reset implements comm.Strategy.
+func (c *RobustCandidate) Reset(*xrand.Rand) {
+	c.task = ""
+	c.elapsed = 0
+}
+
+// Step implements comm.Strategy.
+func (c *RobustCandidate) Step(in comm.Inbox) (comm.Outbox, error) {
+	if task, _, ok := ParseWorldMsg(in.FromWorld); ok {
+		c.task = task
+	}
+	if c.task == "" {
+		return comm.Outbox{}, nil
+	}
+	defer func() { c.elapsed++ }()
+	switch c.elapsed % 3 {
+	case 0:
+		return comm.Outbox{ToServer: c.D.Encode(comm.Message(cmdStatus))}, nil
+	case 1:
+		return comm.Outbox{
+			ToServer: c.D.Encode(comm.Message(cmdPrint + " " + c.task)),
+		}, nil
+	default:
+		return comm.Outbox{}, nil
+	}
+}
+
+// RobustEnum enumerates one RobustCandidate per dialect in the family.
+func RobustEnum(fam *dialect.Family) enumerate.Enumerator {
+	return enumerate.FromFunc("printing-robust/"+fam.Name(), fam.Size(), func(i int) comm.Strategy {
+		return &RobustCandidate{D: fam.Dialect(i)}
+	})
+}

@@ -1,0 +1,205 @@
+package printing
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/enumerate"
+	"repro/internal/goal"
+	"repro/internal/server"
+	"repro/internal/system"
+	"repro/internal/universal"
+	"repro/internal/xrand"
+)
+
+func asleep(v bool) *bool { return &v }
+
+func TestModalServerModes(t *testing.T) {
+	t.Parallel()
+
+	s := &ModalServer{StartAsleep: asleep(true)}
+	s.Reset(xrand.New(1))
+
+	out, err := s.Step(comm.Inbox{FromUser: "PRINT doc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != (comm.Outbox{}) {
+		t.Fatalf("asleep printer printed: %+v", out)
+	}
+
+	out, err = s.Step(comm.Inbox{FromUser: "STATUS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ToUser != "READY" || s.Asleep() {
+		t.Fatalf("STATUS did not wake printer: %+v asleep=%v", out, s.Asleep())
+	}
+
+	out, err = s.Step(comm.Inbox{FromUser: "PRINT doc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ToWorld != "EMIT doc" {
+		t.Fatalf("awake printer refused to print: %+v", out)
+	}
+}
+
+func TestModalServerArbitraryStartState(t *testing.T) {
+	t.Parallel()
+
+	// With no pinned mode, Reset draws the mode from the generator —
+	// both modes must occur across seeds.
+	modes := map[bool]bool{}
+	for seed := uint64(0); seed < 32; seed++ {
+		s := &ModalServer{}
+		s.Reset(xrand.New(seed))
+		modes[s.Asleep()] = true
+	}
+	if len(modes) != 2 {
+		t.Fatalf("start-state distribution degenerate: %v", modes)
+	}
+}
+
+func TestPlainCandidateNotAWitnessForModalServer(t *testing.T) {
+	t.Parallel()
+
+	// The plain candidate never wakes the printer: with an asleep start
+	// state it fails even speaking the right dialect — helpfulness is
+	// relative to the candidate class.
+	fam := wordFam(t, 4)
+	g := &Goal{}
+	srv := server.Dialected(&ModalServer{StartAsleep: asleep(true)}, fam.Dialect(2))
+	usr := &Candidate{D: fam.Dialect(2)}
+	res, err := system.Run(usr, srv, g.NewWorld(goal.Env{}), system.Config{
+		MaxRounds: 200, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goal.CompactAchieved(g, res.History, 10) {
+		t.Fatal("plain candidate should not wake a sleeping printer")
+	}
+}
+
+func TestRobustCandidateHandlesBothStartStates(t *testing.T) {
+	t.Parallel()
+
+	fam := wordFam(t, 4)
+	for _, startAsleep := range []bool{false, true} {
+		g := &Goal{}
+		srv := server.Dialected(&ModalServer{StartAsleep: asleep(startAsleep)}, fam.Dialect(2))
+		usr := &RobustCandidate{D: fam.Dialect(2)}
+		res, err := system.Run(usr, srv, g.NewWorld(goal.Env{}), system.Config{
+			MaxRounds: 200, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !goal.CompactAchieved(g, res.History, 10) {
+			t.Fatalf("robust candidate failed with startAsleep=%v", startAsleep)
+		}
+	}
+}
+
+func TestRobustUniversalUserOverModalClass(t *testing.T) {
+	t.Parallel()
+
+	// Theorem 1 with arbitrary start states: the universal user over the
+	// ROBUST candidate class achieves the goal with every dialected
+	// modal printer in either initial mode.
+	const n = 5
+	fam := wordFam(t, n)
+	for srvIdx := 0; srvIdx < n; srvIdx++ {
+		for _, startAsleep := range []bool{false, true} {
+			srvIdx, startAsleep := srvIdx, startAsleep
+			t.Run(fmt.Sprintf("dialect-%d-asleep-%v", srvIdx, startAsleep), func(t *testing.T) {
+				t.Parallel()
+				g := &Goal{}
+				u, err := universal.NewCompactUser(RobustEnum(fam), Sense(7))
+				if err != nil {
+					t.Fatal(err)
+				}
+				srv := server.Dialected(
+					&ModalServer{StartAsleep: asleep(startAsleep)}, fam.Dialect(srvIdx))
+				res, err := system.Run(u, srv, g.NewWorld(goal.Env{}), system.Config{
+					MaxRounds: 800, Seed: 2,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !goal.CompactAchieved(g, res.History, 10) {
+					t.Fatalf("robust universal user failed (dialect %d, asleep %v)",
+						srvIdx, startAsleep)
+				}
+			})
+		}
+	}
+}
+
+func TestRobustCandidateWorksWithPlainServer(t *testing.T) {
+	t.Parallel()
+
+	// Robustness must not cost compatibility with the plain printer.
+	fam := wordFam(t, 4)
+	g := &Goal{}
+	srv := server.Dialected(&Server{}, fam.Dialect(1))
+	usr := &RobustCandidate{D: fam.Dialect(1)}
+	res, err := system.Run(usr, srv, g.NewWorld(goal.Env{}), system.Config{
+		MaxRounds: 200, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !goal.CompactAchieved(g, res.History, 10) {
+		t.Fatal("robust candidate failed with the plain printer")
+	}
+}
+
+func TestInterleavedClassHandlesMixedServers(t *testing.T) {
+	t.Parallel()
+
+	// Composing candidate families with enumerate.Interleave yields a
+	// universal user for the UNION of server classes: plain printers
+	// (handled by plain candidates) and sleeping modal printers
+	// (handled only by robust candidates).
+	fam := wordFam(t, 4)
+	combined, err := enumerate.Interleave(Enum(fam), RobustEnum(fam))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Size() != 8 {
+		t.Fatalf("combined size = %d", combined.Size())
+	}
+
+	servers := []struct {
+		name string
+		mk   func(i int) comm.Strategy
+	}{
+		{"plain", func(i int) comm.Strategy {
+			return server.Dialected(&Server{}, fam.Dialect(i))
+		}},
+		{"modal-asleep", func(i int) comm.Strategy {
+			return server.Dialected(&ModalServer{StartAsleep: asleep(true)}, fam.Dialect(i))
+		}},
+	}
+	g := &Goal{}
+	for _, sv := range servers {
+		for i := 0; i < fam.Size(); i++ {
+			u, err := universal.NewCompactUser(combined, Sense(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := system.Run(u, sv.mk(i), g.NewWorld(goal.Env{}), system.Config{
+				MaxRounds: 1000, Seed: 6,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !goal.CompactAchieved(g, res.History, 10) {
+				t.Fatalf("combined class failed on %s server, dialect %d", sv.name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,367 @@
+// Package printing implements the paper's motivating example: the goal of
+// using a printer to produce a document — a goal that "cannot be cast as a
+// problem of delegating computation in any reasonable sense" but is
+// captured naturally by the goal-oriented model.
+//
+// The cast:
+//
+//   - World: owns the physical printout. It assigns the user a target
+//     document (the task), appends whatever the printer emits to the output
+//     tape, and lets the user observe the printout — which is exactly the
+//     feedback that makes safe and viable sensing possible.
+//   - Server: the printer. Its native protocol is "PRINT <doc>" / "STATUS",
+//     but the class of possible printers speaks unknown dialects
+//     (server.Dialected).
+//   - User: wants the target document to appear on the printout. Candidate
+//     strategy i speaks dialect i; the universal user enumerates candidates
+//     under print-progress sensing.
+//
+// The goal is compact and forgiving: a prefix is acceptable iff the target
+// document has been printed, and any finite prefix can still be extended to
+// success by printing it now.
+package printing
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/enumerate"
+	"repro/internal/goal"
+	"repro/internal/sensing"
+	"repro/internal/xrand"
+)
+
+// Protocol vocabulary (the native command language of printers).
+const (
+	cmdPrint  = "PRINT"
+	cmdStatus = "STATUS"
+	rspAck    = "ACK"
+	rspReady  = "READY"
+)
+
+// Vocabulary returns the printer protocol's verbs, the token set that word
+// dialects permute.
+func Vocabulary() []string {
+	return []string{cmdPrint, cmdStatus, rspAck, rspReady}
+}
+
+// DefaultPatience is the sensing patience used by the stock universal user:
+// a candidate gets this many rounds to produce print progress before a
+// negative indication. The user→server→world→user feedback loop takes 3
+// rounds, so 5 leaves margin for one retry.
+const DefaultPatience = 5
+
+// Goal is the printing goal. Env.Choice selects the target document.
+type Goal struct {
+	// Docs is the set of possible target documents (the world's
+	// non-deterministic choice). Empty means DefaultDocs.
+	Docs []string
+
+	// Paper bounds how many documents the printer's tray can produce;
+	// 0 means unlimited. A positive Paper makes the goal NON-forgiving:
+	// a history that wastes the last sheet without printing the target
+	// can no longer be extended to success. Used by ablation A1 to show
+	// why the paper restricts attention to forgiving goals.
+	Paper int
+}
+
+var (
+	_ goal.CompactGoal = (*Goal)(nil)
+	_ goal.Forgiving   = (*Goal)(nil)
+)
+
+// DefaultDocs are the target documents used when none are configured.
+func DefaultDocs() []string {
+	return []string{"report7", "thesis3", "memo42", "poster9"}
+}
+
+func (g *Goal) docs() []string {
+	if len(g.Docs) == 0 {
+		return DefaultDocs()
+	}
+	return g.Docs
+}
+
+// Name implements goal.Goal.
+func (g *Goal) Name() string { return "printing" }
+
+// Kind implements goal.Goal.
+func (g *Goal) Kind() goal.Kind { return goal.KindCompact }
+
+// EnvChoices implements goal.Goal.
+func (g *Goal) EnvChoices() int { return len(g.docs()) }
+
+// NewWorld implements goal.Goal.
+func (g *Goal) NewWorld(env goal.Env) goal.World {
+	docs := g.docs()
+	choice := env.Choice % len(docs)
+	if choice < 0 {
+		choice += len(docs)
+	}
+	return &World{target: docs[choice], paper: g.Paper}
+}
+
+// Acceptable implements goal.CompactGoal: a prefix is acceptable iff the
+// target has been printed.
+func (g *Goal) Acceptable(prefix comm.History) bool {
+	return strings.HasSuffix(string(prefix.Last()), "done=1")
+}
+
+// ForgivingGoal implements goal.Forgiving. The goal is forgiving only with
+// an unlimited paper tray.
+func (g *Goal) ForgivingGoal() bool { return g.Paper == 0 }
+
+// World is the printing environment. Each round it (re)announces the task
+// to the user along with the most recently printed document, and it appends
+// any "EMIT <doc>" from the server to the printout (paper permitting).
+//
+// World→user message format: "TASK <target>|PRINTED <lastPrinted>".
+// Snapshot format: "target=<target>;printed=<count>;done=<0|1>".
+type World struct {
+	target  string
+	paper   int // 0 = unlimited
+	printed []string
+	done    bool
+}
+
+var _ goal.World = (*World)(nil)
+
+// Target returns the document the user is tasked with printing.
+func (w *World) Target() string { return w.target }
+
+// Printout returns a copy of the printed documents in order.
+func (w *World) Printout() []string {
+	out := make([]string, len(w.printed))
+	copy(out, w.printed)
+	return out
+}
+
+// PaperLeft returns the remaining sheets, or -1 when unlimited.
+func (w *World) PaperLeft() int {
+	if w.paper == 0 {
+		return -1
+	}
+	left := w.paper - len(w.printed)
+	if left < 0 {
+		left = 0
+	}
+	return left
+}
+
+// Reset implements comm.Strategy.
+func (w *World) Reset(*xrand.Rand) {
+	w.printed = nil
+	w.done = false
+}
+
+// Step implements comm.Strategy.
+func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {
+	if doc, ok := strings.CutPrefix(string(in.FromServer), "EMIT "); ok {
+		if w.paper == 0 || len(w.printed) < w.paper {
+			w.printed = append(w.printed, doc)
+			if doc == w.target {
+				w.done = true
+			}
+		}
+	}
+	last := ""
+	if len(w.printed) > 0 {
+		last = w.printed[len(w.printed)-1]
+	}
+	return comm.Outbox{
+		ToUser: comm.Message("TASK " + w.target + "|PRINTED " + last),
+	}, nil
+}
+
+// Snapshot implements goal.World.
+func (w *World) Snapshot() comm.WorldState {
+	done := 0
+	if w.done {
+		done = 1
+	}
+	return comm.WorldState(fmt.Sprintf("target=%s;printed=%d;done=%d",
+		w.target, len(w.printed), done))
+}
+
+// ParseWorldMsg extracts the task and last-printed fields from a world
+// message; ok is false if the message is not a world announcement.
+func ParseWorldMsg(m comm.Message) (task, printed string, ok bool) {
+	s := string(m)
+	taskPart, printedPart, found := strings.Cut(s, "|")
+	if !found {
+		return "", "", false
+	}
+	task, ok1 := strings.CutPrefix(taskPart, "TASK ")
+	printed, ok2 := strings.CutPrefix(printedPart, "PRINTED ")
+	if !ok1 || !ok2 {
+		return "", "", false
+	}
+	return task, printed, true
+}
+
+// Server is the printer's native protocol: on "PRINT <doc>" it emits the
+// document to the world and acknowledges to the user; on "STATUS" it
+// reports readiness. Wrap with server.Dialected to obtain the class of
+// printers the paper's user must cope with.
+type Server struct{}
+
+var _ comm.Strategy = (*Server)(nil)
+
+// Reset implements comm.Strategy.
+func (*Server) Reset(*xrand.Rand) {}
+
+// Step implements comm.Strategy.
+func (*Server) Step(in comm.Inbox) (comm.Outbox, error) {
+	msg := string(in.FromUser)
+	switch {
+	case strings.HasPrefix(msg, cmdPrint+" "):
+		doc := strings.TrimPrefix(msg, cmdPrint+" ")
+		return comm.Outbox{
+			ToUser:  comm.Message(rspAck + " " + doc),
+			ToWorld: comm.Message("EMIT " + doc),
+		}, nil
+	case msg == cmdStatus:
+		return comm.Outbox{ToUser: rspReady}, nil
+	default:
+		return comm.Outbox{}, nil
+	}
+}
+
+// TouchyServer behaves like Server on well-formed commands but reacts to
+// every non-empty command it does not understand by printing an error page
+// — as real printers do with garbage input. Combined with a finite paper
+// tray (Goal.Paper > 0) this makes probing costly and the goal
+// non-forgiving: a universal user that burns the tray on wrong-dialect
+// probes can no longer succeed. Used by ablation A1.
+type TouchyServer struct {
+	inner Server
+}
+
+var _ comm.Strategy = (*TouchyServer)(nil)
+
+// ErrorPage is the document a touchy printer emits on garbage input.
+const ErrorPage = "errorpage"
+
+// Reset implements comm.Strategy.
+func (*TouchyServer) Reset(*xrand.Rand) {}
+
+// Step implements comm.Strategy.
+func (s *TouchyServer) Step(in comm.Inbox) (comm.Outbox, error) {
+	out, err := s.inner.Step(in)
+	if err != nil {
+		return comm.Outbox{}, err
+	}
+	if out == (comm.Outbox{}) && !in.FromUser.Empty() {
+		return comm.Outbox{ToWorld: "EMIT " + ErrorPage}, nil
+	}
+	return out, nil
+}
+
+// LyingServer acknowledges every command but never prints anything. It is
+// unhelpful; it exists to expose unsafe sensing (trusting ACKs) in the T4
+// ablation.
+type LyingServer struct{}
+
+var _ comm.Strategy = (*LyingServer)(nil)
+
+// Reset implements comm.Strategy.
+func (*LyingServer) Reset(*xrand.Rand) {}
+
+// Step implements comm.Strategy.
+func (*LyingServer) Step(in comm.Inbox) (comm.Outbox, error) {
+	if in.FromUser.Empty() {
+		return comm.Outbox{}, nil
+	}
+	return comm.Outbox{ToUser: rspAck + " anything"}, nil
+}
+
+// Candidate is the dialect-d printing user: it reads the task from the
+// world and periodically sends "PRINT <task>" encoded in its dialect.
+type Candidate struct {
+	// D is the dialect this candidate speaks to the server.
+	D dialect.Dialect
+	// Resend is the retry period in rounds; 0 means every other round.
+	Resend int
+
+	task    string
+	elapsed int
+}
+
+var _ comm.Strategy = (*Candidate)(nil)
+
+// Reset implements comm.Strategy.
+func (c *Candidate) Reset(*xrand.Rand) {
+	c.task = ""
+	c.elapsed = 0
+}
+
+// Step implements comm.Strategy.
+func (c *Candidate) Step(in comm.Inbox) (comm.Outbox, error) {
+	if task, _, ok := ParseWorldMsg(in.FromWorld); ok {
+		c.task = task
+	}
+	if c.task == "" {
+		return comm.Outbox{}, nil
+	}
+	period := c.Resend
+	if period <= 0 {
+		period = 2
+	}
+	defer func() { c.elapsed++ }()
+	if c.elapsed%period == 0 {
+		return comm.Outbox{
+			ToServer: c.D.Encode(comm.Message(cmdPrint + " " + c.task)),
+		}, nil
+	}
+	return comm.Outbox{}, nil
+}
+
+// Enum enumerates one Candidate per dialect in the family — the class of
+// user strategies the universal printing user searches.
+func Enum(fam *dialect.Family) enumerate.Enumerator {
+	return enumerate.FromFunc("printing/"+fam.Name(), fam.Size(), func(i int) comm.Strategy {
+		return &Candidate{D: fam.Dialect(i)}
+	})
+}
+
+// Sense is the print-progress sensing function: the indication is positive
+// as long as, within the patience window, the world has confirmed that the
+// most recent printout equals the task. It is safe (positive indications
+// require the target actually printed — the world does not lie) and viable
+// (the matching candidate prints within the window). patience <= 0 selects
+// DefaultPatience.
+func Sense(patience int) sensing.Sense {
+	if patience <= 0 {
+		patience = DefaultPatience
+	}
+	return sensing.Patience(sensing.New(func(rv comm.RoundView) bool {
+		task, printed, ok := ParseWorldMsg(rv.In.FromWorld)
+		return ok && task != "" && printed == task
+	}), patience)
+}
+
+// TrustingSense is the deliberately unsafe sensing variant for the T4
+// ablation: it reports positive as soon as the server has acknowledged
+// anything, trusting the server instead of observing the world. A lying
+// server keeps it positive forever while the goal goes unachieved.
+func TrustingSense() sensing.Sense {
+	return sensing.Sticky(sensing.New(func(rv comm.RoundView) bool {
+		return strings.HasPrefix(string(rv.In.FromServer), rspAck)
+	}))
+}
+
+// ParanoidSense is the deliberately non-viable sensing variant for the T4
+// ablation: it demands confirmation that no printer can produce (a printout
+// equal to the task with a "!" suffix the protocol never emits), so no
+// candidate ever earns a lasting positive indication.
+func ParanoidSense(patience int) sensing.Sense {
+	if patience <= 0 {
+		patience = DefaultPatience
+	}
+	return sensing.Patience(sensing.New(func(rv comm.RoundView) bool {
+		task, printed, ok := ParseWorldMsg(rv.In.FromWorld)
+		return ok && task != "" && printed == task+"!"
+	}), patience)
+}

@@ -1,0 +1,291 @@
+// Package transfer implements a data-transfer goal: the user must get a
+// K-chunk payload stored with the world, but the only route is through a
+// storage server speaking an unknown dialect — and possibly dropping
+// messages. It exercises two robustness properties of the framework at
+// once: universality over the dialect class and tolerance of message loss
+// on forgiving goals (a dropped chunk can always be retransmitted).
+//
+// Protocol (native):
+//
+//	world → user:   "WANT <K>|HAVE <bitmask>"          (status, every round)
+//	user  → server: "STORE <i> <data>"                  (dialected)
+//	server→ world:  "REL <i> <data>"                    (physical channel)
+//	server→ user:   "STORED <i>"                        (dialected ack)
+//
+// The world validates chunk contents (chunk i must carry Data(i)); the
+// compact goal is achieved once every chunk is stored.
+package transfer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/enumerate"
+	"repro/internal/goal"
+	"repro/internal/sensing"
+	"repro/internal/xrand"
+)
+
+// Protocol vocabulary.
+const (
+	cmdStore  = "STORE"
+	rspStored = "STORED"
+)
+
+// Vocabulary returns the storage protocol's verbs for word-dialect
+// families.
+func Vocabulary() []string { return []string{cmdStore, rspStored} }
+
+// DefaultPatience is the sensing patience: how many rounds without storage
+// progress a candidate survives. Noisy channels need larger values.
+const DefaultPatience = 8
+
+// Data returns the canonical content of chunk i.
+func Data(i int) string { return fmt.Sprintf("blob%d", i) }
+
+// Goal is the compact transfer goal. K is the number of chunks (0 means
+// 8); the environment choice is trivial — the payload is canonical.
+type Goal struct {
+	K int
+}
+
+var (
+	_ goal.CompactGoal = (*Goal)(nil)
+	_ goal.Forgiving   = (*Goal)(nil)
+)
+
+func (g *Goal) k() int {
+	if g.K <= 0 {
+		return 8
+	}
+	return g.K
+}
+
+// Name implements goal.Goal.
+func (g *Goal) Name() string { return "transfer" }
+
+// Kind implements goal.Goal.
+func (g *Goal) Kind() goal.Kind { return goal.KindCompact }
+
+// EnvChoices implements goal.Goal.
+func (g *Goal) EnvChoices() int { return 1 }
+
+// NewWorld implements goal.Goal.
+func (g *Goal) NewWorld(goal.Env) goal.World { return &World{K: g.k()} }
+
+// Acceptable implements goal.CompactGoal.
+func (g *Goal) Acceptable(prefix comm.History) bool {
+	return strings.HasSuffix(string(prefix.Last()), "done=1")
+}
+
+// ForgivingGoal implements goal.Forgiving: chunks can always be resent.
+func (g *Goal) ForgivingGoal() bool { return true }
+
+// World is the storage endpoint: it validates released chunks and reports
+// the stored set every round. Snapshot: "have=<n>/<K>;done=<0|1>".
+type World struct {
+	K int
+
+	have []bool
+}
+
+var _ goal.World = (*World)(nil)
+
+// Reset implements comm.Strategy.
+func (w *World) Reset(*xrand.Rand) { w.have = make([]bool, w.K) }
+
+func (w *World) count() int {
+	n := 0
+	for _, h := range w.have {
+		if h {
+			n++
+		}
+	}
+	return n
+}
+
+func (w *World) mask() uint64 {
+	var m uint64
+	for i, h := range w.have {
+		if h && i < 64 {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// Step implements comm.Strategy.
+func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {
+	if rest, ok := strings.CutPrefix(string(in.FromServer), "REL "); ok {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) == 2 {
+			if i, err := strconv.Atoi(fields[0]); err == nil &&
+				i >= 0 && i < w.K && fields[1] == Data(i) {
+				w.have[i] = true
+			}
+		}
+	}
+	msg := fmt.Sprintf("WANT %d|HAVE %d", w.K, w.mask())
+	return comm.Outbox{ToUser: comm.Message(msg)}, nil
+}
+
+// Snapshot implements goal.World.
+func (w *World) Snapshot() comm.WorldState {
+	done := 0
+	if w.count() == w.K {
+		done = 1
+	}
+	return comm.WorldState(fmt.Sprintf("have=%d/%d;done=%d", w.count(), w.K, done))
+}
+
+// ParseStatus decodes the world's status message.
+func ParseStatus(m comm.Message) (k int, mask uint64, ok bool) {
+	wantPart, havePart, found := strings.Cut(string(m), "|")
+	if !found {
+		return 0, 0, false
+	}
+	ws, ok1 := strings.CutPrefix(wantPart, "WANT ")
+	hs, ok2 := strings.CutPrefix(havePart, "HAVE ")
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	k, err1 := strconv.Atoi(ws)
+	mask, err2 := strconv.ParseUint(hs, 10, 64)
+	if err1 != nil || err2 != nil || k < 0 {
+		return 0, 0, false
+	}
+	return k, mask, true
+}
+
+// Server is the storage relay's native protocol.
+type Server struct{}
+
+var _ comm.Strategy = (*Server)(nil)
+
+// Reset implements comm.Strategy.
+func (*Server) Reset(*xrand.Rand) {}
+
+// Step implements comm.Strategy.
+func (*Server) Step(in comm.Inbox) (comm.Outbox, error) {
+	rest, ok := strings.CutPrefix(string(in.FromUser), cmdStore+" ")
+	if !ok {
+		return comm.Outbox{}, nil
+	}
+	fields := strings.SplitN(rest, " ", 2)
+	if len(fields) != 2 {
+		return comm.Outbox{}, nil
+	}
+	if _, err := strconv.Atoi(fields[0]); err != nil {
+		return comm.Outbox{}, nil
+	}
+	return comm.Outbox{
+		ToUser:  comm.Message(rspStored + " " + fields[0]),
+		ToWorld: comm.Message("REL " + rest),
+	}, nil
+}
+
+// Candidate is the dialect-d transfer user: read the world's status,
+// (re)send missing chunks round-robin in its dialect.
+type Candidate struct {
+	// D is the dialect this candidate speaks to the server.
+	D dialect.Dialect
+
+	k    int
+	mask uint64
+	next int
+}
+
+var _ comm.Strategy = (*Candidate)(nil)
+
+// Reset implements comm.Strategy.
+func (c *Candidate) Reset(*xrand.Rand) {
+	c.k = 0
+	c.mask = 0
+	c.next = 0
+}
+
+// Step implements comm.Strategy.
+func (c *Candidate) Step(in comm.Inbox) (comm.Outbox, error) {
+	if k, mask, ok := ParseStatus(in.FromWorld); ok {
+		c.k = k
+		c.mask = mask
+	}
+	if c.k == 0 {
+		return comm.Outbox{}, nil
+	}
+	// Find the next missing chunk, round-robin so retransmissions
+	// interleave fairly under loss.
+	for probe := 0; probe < c.k; probe++ {
+		i := (c.next + probe) % c.k
+		if i < 64 && c.mask&(1<<uint(i)) != 0 {
+			continue
+		}
+		c.next = (i + 1) % c.k
+		cmd := fmt.Sprintf("%s %d %s", cmdStore, i, Data(i))
+		return comm.Outbox{ToServer: c.D.Encode(comm.Message(cmd))}, nil
+	}
+	return comm.Outbox{}, nil
+}
+
+// Enum enumerates one Candidate per dialect in the family.
+func Enum(fam *dialect.Family) enumerate.Enumerator {
+	return enumerate.FromFunc("transfer/"+fam.Name(), fam.Size(), func(i int) comm.Strategy {
+		return &Candidate{D: fam.Dialect(i)}
+	})
+}
+
+// Sense is positive while the transfer is complete or still progressing:
+// it tracks the stored-chunk count from the world's status and reports
+// negative once patience rounds pass with no new chunk stored (and the
+// transfer incomplete). Safe — stalling forever with an incomplete
+// transfer is exactly goal failure — and viable, since the matching
+// candidate stores a chunk every few rounds even under moderate loss.
+func Sense(patience int) sensing.Sense {
+	if patience <= 0 {
+		patience = DefaultPatience
+	}
+	return &progressSense{patience: patience}
+}
+
+type progressSense struct {
+	patience int
+	started  bool
+	lastHave int
+	idle     int
+}
+
+var _ sensing.Sense = (*progressSense)(nil)
+
+func (s *progressSense) Reset() {
+	s.started = false
+	s.lastHave = 0
+	s.idle = 0
+}
+
+func (s *progressSense) Observe(rv comm.RoundView) bool {
+	k, mask, ok := ParseStatus(rv.In.FromWorld)
+	if !ok {
+		// No status yet: grace.
+		return true
+	}
+	have := 0
+	for i := 0; i < k && i < 64; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			have++
+		}
+	}
+	if have == k {
+		return true
+	}
+	if !s.started || have > s.lastHave {
+		s.started = true
+		s.lastHave = have
+		s.idle = 0
+		return true
+	}
+	s.idle++
+	return s.idle < s.patience
+}

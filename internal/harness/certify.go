@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/enumerate"
+	"repro/internal/goal"
+	"repro/internal/sensing"
+	"repro/internal/system"
+)
+
+// CertConfig parameterizes empirical certification runs.
+type CertConfig struct {
+	// MaxRounds is the execution horizon per run; 0 means the system
+	// default.
+	MaxRounds int
+	// Window is the convergence window for compact goals; 0 means 10.
+	Window int
+	// Seed drives all randomness.
+	Seed uint64
+	// Envs is how many environment choices to sweep; 0 means the goal's
+	// EnvChoices.
+	Envs int
+}
+
+func (c CertConfig) window() int {
+	if c.Window <= 0 {
+		return 10
+	}
+	return c.Window
+}
+
+func (c CertConfig) envs(g goal.Goal) int {
+	if c.Envs > 0 {
+		return c.Envs
+	}
+	return g.EnvChoices()
+}
+
+// Violation records one certification failure.
+type Violation struct {
+	// Kind names the violated property ("safety", "viability",
+	// "helpfulness", "forgiving").
+	Kind string
+	// Server and Env identify the failing configuration; Candidate is
+	// the strategy index where applicable (-1 otherwise).
+	Server, Env, Candidate int
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violation (server %d, env %d, candidate %d): %s",
+		v.Kind, v.Server, v.Env, v.Candidate, v.Detail)
+}
+
+// eventuallyPositive reports whether the indication sequence is positive on
+// the final window rounds (the empirical reading of "only finitely many
+// negative indications").
+func eventuallyPositive(inds []bool, window int) bool {
+	if len(inds) < window {
+		return false
+	}
+	for _, v := range inds[len(inds)-window:] {
+		if !v {
+			return false
+		}
+	}
+	return true
+}
+
+// HelpfulCompact reports whether the server is helpful for the compact goal
+// with respect to the candidate class: some enumerated candidate achieves
+// the goal when paired with it, from every swept environment. It returns
+// the first witnessing candidate index (or -1).
+func HelpfulCompact(
+	g goal.CompactGoal,
+	mkServer func() comm.Strategy,
+	enum enumerate.Enumerator,
+	cfg CertConfig,
+) (bool, int) {
+	size := enum.Size()
+	if size == enumerate.Unbounded {
+		size = 64 // probe a prefix of an unbounded class
+	}
+candidates:
+	for i := 0; i < size; i++ {
+		for env := 0; env < cfg.envs(g); env++ {
+			res, err := system.Run(enum.Strategy(i), mkServer(),
+				g.NewWorld(goal.Env{Choice: env, Seed: cfg.Seed}),
+				system.Config{MaxRounds: cfg.MaxRounds, Seed: cfg.Seed})
+			if err != nil || !goal.CompactAchieved(g, res.History, cfg.window()) {
+				continue candidates
+			}
+		}
+		return true, i
+	}
+	return false, -1
+}
+
+// CertifySafetyCompact checks the safety of a sensing function for a
+// compact goal against a set of server factories: whenever a pairing's
+// indications are eventually always positive, the execution must achieve
+// the goal. mkSense must return a fresh Sense per call; users enumerates
+// the user strategies to pair (typically the candidate class itself).
+func CertifySafetyCompact(
+	g goal.CompactGoal,
+	mkSense func() sensing.Sense,
+	users enumerate.Enumerator,
+	servers []func() comm.Strategy,
+	cfg CertConfig,
+) []Violation {
+	var violations []Violation
+	size := users.Size()
+	if size == enumerate.Unbounded {
+		size = 64
+	}
+	for si, mkServer := range servers {
+		for i := 0; i < size; i++ {
+			for env := 0; env < cfg.envs(g); env++ {
+				res, err := system.Run(users.Strategy(i), mkServer(),
+					g.NewWorld(goal.Env{Choice: env, Seed: cfg.Seed}),
+					system.Config{MaxRounds: cfg.MaxRounds, Seed: cfg.Seed})
+				if err != nil {
+					violations = append(violations, Violation{
+						Kind: "safety", Server: si, Env: env, Candidate: i,
+						Detail: fmt.Sprintf("execution error: %v", err),
+					})
+					continue
+				}
+				inds := sensing.Indications(mkSense(), res.View)
+				if eventuallyPositive(inds, cfg.window()) &&
+					!goal.CompactAchieved(g, res.History, cfg.window()) {
+					violations = append(violations, Violation{
+						Kind: "safety", Server: si, Env: env, Candidate: i,
+						Detail: "indications eventually positive but goal not achieved",
+					})
+				}
+			}
+		}
+	}
+	return violations
+}
+
+// CertifyViabilityCompact checks viability: for every server in the list
+// (all assumed helpful), some candidate achieves the goal *and* earns
+// eventually-always-positive indications. One violation is reported per
+// server lacking such a candidate.
+func CertifyViabilityCompact(
+	g goal.CompactGoal,
+	mkSense func() sensing.Sense,
+	users enumerate.Enumerator,
+	servers []func() comm.Strategy,
+	cfg CertConfig,
+) []Violation {
+	var violations []Violation
+	size := users.Size()
+	if size == enumerate.Unbounded {
+		size = 64
+	}
+	for si, mkServer := range servers {
+		for env := 0; env < cfg.envs(g); env++ {
+			found := false
+			for i := 0; i < size && !found; i++ {
+				res, err := system.Run(users.Strategy(i), mkServer(),
+					g.NewWorld(goal.Env{Choice: env, Seed: cfg.Seed}),
+					system.Config{MaxRounds: cfg.MaxRounds, Seed: cfg.Seed})
+				if err != nil {
+					continue
+				}
+				inds := sensing.Indications(mkSense(), res.View)
+				if eventuallyPositive(inds, cfg.window()) &&
+					goal.CompactAchieved(g, res.History, cfg.window()) {
+					found = true
+				}
+			}
+			if !found {
+				violations = append(violations, Violation{
+					Kind: "viability", Server: si, Env: env, Candidate: -1,
+					Detail: "no candidate earns lasting positive indications while achieving the goal",
+				})
+			}
+		}
+	}
+	return violations
+}

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/enumerate"
+	"repro/internal/goal"
+	"repro/internal/sensing"
+	"repro/internal/system"
+)
+
+// HelpfulFinite reports whether the server is helpful for the finite goal
+// with respect to the candidate class: some enumerated candidate halts with
+// an acceptable history when paired with it, on every swept environment.
+// It returns the first witnessing candidate index (or -1). cfg.MaxRounds
+// bounds each probe execution.
+func HelpfulFinite(
+	g goal.FiniteGoal,
+	mkServer func() comm.Strategy,
+	enum enumerate.Enumerator,
+	cfg CertConfig,
+) (bool, int) {
+	size := enum.Size()
+	if size == enumerate.Unbounded {
+		size = 64
+	}
+candidates:
+	for i := 0; i < size; i++ {
+		for env := 0; env < cfg.envs(g); env++ {
+			res, err := system.Run(enum.Strategy(i), mkServer(),
+				g.NewWorld(goal.Env{Choice: env, Seed: cfg.Seed}),
+				system.Config{MaxRounds: cfg.MaxRounds, Seed: cfg.Seed})
+			if err != nil || !res.Halted || !g.Achieved(res.History) {
+				continue candidates
+			}
+		}
+		return true, i
+	}
+	return false, -1
+}
+
+// CertifySafetyFinite checks finite-goal safety: a positive (replayed)
+// sensing verdict on a halted execution must imply the referee accepts the
+// history. Every (candidate, server, env) triple is probed.
+func CertifySafetyFinite(
+	g goal.FiniteGoal,
+	mkSense func() sensing.Sense,
+	users enumerate.Enumerator,
+	servers []func() comm.Strategy,
+	cfg CertConfig,
+) []Violation {
+	var violations []Violation
+	size := users.Size()
+	if size == enumerate.Unbounded {
+		size = 64
+	}
+	for si, mkServer := range servers {
+		for i := 0; i < size; i++ {
+			for env := 0; env < cfg.envs(g); env++ {
+				res, err := system.Run(users.Strategy(i), mkServer(),
+					g.NewWorld(goal.Env{Choice: env, Seed: cfg.Seed}),
+					system.Config{MaxRounds: cfg.MaxRounds, Seed: cfg.Seed})
+				if err != nil {
+					violations = append(violations, Violation{
+						Kind: "safety", Server: si, Env: env, Candidate: i,
+						Detail: fmt.Sprintf("execution error: %v", err),
+					})
+					continue
+				}
+				if !res.Halted {
+					continue
+				}
+				if sensing.Replay(mkSense(), res.View) && !g.Achieved(res.History) {
+					violations = append(violations, Violation{
+						Kind: "safety", Server: si, Env: env, Candidate: i,
+						Detail: "positive verdict on a rejected halted history",
+					})
+				}
+			}
+		}
+	}
+	return violations
+}
+
+// CertifyViabilityFinite checks finite-goal viability: for every server in
+// the list, some candidate halts with a positive (replayed) sensing verdict
+// on every swept environment.
+func CertifyViabilityFinite(
+	g goal.FiniteGoal,
+	mkSense func() sensing.Sense,
+	users enumerate.Enumerator,
+	servers []func() comm.Strategy,
+	cfg CertConfig,
+) []Violation {
+	var violations []Violation
+	size := users.Size()
+	if size == enumerate.Unbounded {
+		size = 64
+	}
+	for si, mkServer := range servers {
+		for env := 0; env < cfg.envs(g); env++ {
+			found := false
+			for i := 0; i < size && !found; i++ {
+				res, err := system.Run(users.Strategy(i), mkServer(),
+					g.NewWorld(goal.Env{Choice: env, Seed: cfg.Seed}),
+					system.Config{MaxRounds: cfg.MaxRounds, Seed: cfg.Seed})
+				if err != nil || !res.Halted {
+					continue
+				}
+				if sensing.Replay(mkSense(), res.View) {
+					found = true
+				}
+			}
+			if !found {
+				violations = append(violations, Violation{
+					Kind: "viability", Server: si, Env: env, Candidate: -1,
+					Detail: "no candidate halts with a positive verdict",
+				})
+			}
+		}
+	}
+	return violations
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/goals/delegation"
+	"repro/internal/sensing"
+	"repro/internal/server"
+)
+
+func delegationFixture(t *testing.T, n int) (*delegation.Goal, *dialect.Family, []func() comm.Strategy) {
+	t.Helper()
+	fam, err := dialect.NewWordFamily(delegation.Vocabulary(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := make([]func() comm.Strategy, n)
+	for i := range servers {
+		d := fam.Dialect(i)
+		servers[i] = func() comm.Strategy { return server.Dialected(&delegation.Server{}, d) }
+	}
+	return &delegation.Goal{N: 10, Instances: 2}, fam, servers
+}
+
+func TestHelpfulFinite(t *testing.T) {
+	t.Parallel()
+
+	g, fam, servers := delegationFixture(t, 4)
+	cfg := CertConfig{MaxRounds: 60, Seed: 1}
+
+	ok, witness := HelpfulFinite(g, servers[3], delegation.Enum(fam), cfg)
+	if !ok || witness != 3 {
+		t.Fatalf("helpful = %v witness = %d, want true/3", ok, witness)
+	}
+
+	ok, _ = HelpfulFinite(g, func() comm.Strategy { return server.Obstinate() },
+		delegation.Enum(fam), cfg)
+	if ok {
+		t.Fatal("obstinate server certified helpful for a finite goal")
+	}
+}
+
+func TestCertifySafetyFiniteAcceptsVerificationSense(t *testing.T) {
+	t.Parallel()
+
+	g, fam, servers := delegationFixture(t, 4)
+	// Include a fully flaky solver: its corrupted witnesses must never
+	// earn a positive verdict.
+	all := append(servers, func() comm.Strategy {
+		return server.Dialected(&delegation.FlakyServer{P: 1}, fam.Dialect(0))
+	})
+	cfg := CertConfig{MaxRounds: 60, Seed: 1}
+	vs := CertifySafetyFinite(g, func() sensing.Sense { return delegation.Sense() },
+		delegation.Enum(fam), all, cfg)
+	if len(vs) != 0 {
+		t.Fatalf("verification sense flagged: %v", vs)
+	}
+}
+
+func TestCertifySafetyFiniteRejectsGullibleSense(t *testing.T) {
+	t.Parallel()
+
+	// A sense that accepts any halted attempt is unsafe: the naive
+	// candidate halts on corrupted witnesses too.
+	g, fam, _ := delegationFixture(t, 4)
+	flaky := []func() comm.Strategy{
+		func() comm.Strategy {
+			return server.Dialected(&delegation.FlakyServer{P: 1}, fam.Dialect(0))
+		},
+	}
+	cfg := CertConfig{MaxRounds: 60, Seed: 1}
+	vs := CertifySafetyFinite(g, func() sensing.Sense { return sensing.Const(true) },
+		delegation.Enum(fam), flaky, cfg)
+	if len(vs) == 0 {
+		t.Fatal("gullible sense passed finite safety certification")
+	}
+}
+
+func TestCertifyViabilityFinite(t *testing.T) {
+	t.Parallel()
+
+	g, fam, servers := delegationFixture(t, 4)
+	cfg := CertConfig{MaxRounds: 60, Seed: 1}
+
+	vs := CertifyViabilityFinite(g, func() sensing.Sense { return delegation.Sense() },
+		delegation.Enum(fam), servers, cfg)
+	if len(vs) != 0 {
+		t.Fatalf("verification sense flagged as non-viable: %v", vs)
+	}
+
+	// A never-positive sense is trivially safe but not viable.
+	vs = CertifyViabilityFinite(g, func() sensing.Sense { return sensing.Const(false) },
+		delegation.Enum(fam), servers, cfg)
+	if len(vs) != len(servers)*g.EnvChoices() {
+		t.Fatalf("constant-false viability violations = %d, want %d",
+			len(vs), len(servers)*g.EnvChoices())
+	}
+}

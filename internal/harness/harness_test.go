@@ -1,0 +1,241 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/goals/printing"
+	"repro/internal/sensing"
+	"repro/internal/server"
+)
+
+func TestTableRender(t *testing.T) {
+	t.Parallel()
+
+	tbl := &Table{
+		ID:      "T0",
+		Title:   "demo",
+		Columns: []string{"name", "value"},
+		Notes:   []string{"just a test"},
+	}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("b", "23456")
+
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"T0: demo", "name", "alpha", "23456", "note: just a test"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAddRowPanicsOnMismatch(t *testing.T) {
+	t.Parallel()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row accepted")
+		}
+	}()
+	tbl := &Table{ID: "X", Columns: []string{"a", "b"}}
+	tbl.AddRow("only-one")
+}
+
+func TestSeriesRender(t *testing.T) {
+	t.Parallel()
+
+	s := &Series{
+		ID: "F0", Title: "demo", XLabel: "round", YLabel: "mistakes",
+		Lines: []Line{{Name: "halving", X: []float64{1, 2}, Y: []float64{0, 1}}},
+	}
+	var b strings.Builder
+	if err := s.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"F0: demo", "halving", "x-axis: round"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	t.Parallel()
+
+	r := &Report{
+		Tables: []*Table{{ID: "T", Title: "t", Columns: []string{"c"}}},
+		Series: []*Series{{ID: "F", Title: "f"}},
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "T: t") || !strings.Contains(b.String(), "F: f") {
+		t.Fatal("report render incomplete")
+	}
+}
+
+func TestStats(t *testing.T) {
+	t.Parallel()
+
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty stats not zero")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Max([]float64{1, 5, 3}); got != 5 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := Percent(1, 4); got != "25.0%" {
+		t.Fatalf("Percent = %q", got)
+	}
+	if got := Percent(1, 0); got != "n/a" {
+		t.Fatalf("Percent div0 = %q", got)
+	}
+	if F(1.25) != "1.2" && F(1.25) != "1.3" {
+		t.Fatalf("F = %q", F(1.25))
+	}
+	if I(7) != "7" {
+		t.Fatalf("I = %q", I(7))
+	}
+}
+
+func printingFixture(t *testing.T, n int) (*printing.Goal, *dialect.Family, []func() comm.Strategy) {
+	t.Helper()
+	fam, err := dialect.NewWordFamily(printing.Vocabulary(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := make([]func() comm.Strategy, n)
+	for i := range servers {
+		d := fam.Dialect(i)
+		servers[i] = func() comm.Strategy { return server.Dialected(&printing.Server{}, d) }
+	}
+	return &printing.Goal{Docs: []string{"doc"}}, fam, servers
+}
+
+func TestHelpfulCompact(t *testing.T) {
+	t.Parallel()
+
+	g, fam, servers := printingFixture(t, 4)
+	cfg := CertConfig{MaxRounds: 100, Seed: 1}
+
+	ok, witness := HelpfulCompact(g, servers[2], printing.Enum(fam), cfg)
+	if !ok {
+		t.Fatal("dialected printer not recognized as helpful")
+	}
+	if witness != 2 {
+		t.Fatalf("witness = %d, want 2", witness)
+	}
+
+	ok, _ = HelpfulCompact(g, func() comm.Strategy { return server.Obstinate() },
+		printing.Enum(fam), cfg)
+	if ok {
+		t.Fatal("obstinate server certified helpful")
+	}
+
+	ok, _ = HelpfulCompact(g, func() comm.Strategy { return &printing.LyingServer{} },
+		printing.Enum(fam), cfg)
+	if ok {
+		t.Fatal("lying server certified helpful")
+	}
+}
+
+func TestCertifySafetyCompactAcceptsSafeSense(t *testing.T) {
+	t.Parallel()
+
+	g, fam, servers := printingFixture(t, 4)
+	all := append(servers,
+		func() comm.Strategy { return server.Obstinate() },
+		func() comm.Strategy { return &printing.LyingServer{} },
+	)
+	cfg := CertConfig{MaxRounds: 120, Seed: 1}
+	vs := CertifySafetyCompact(g, func() sensing.Sense {
+		return printing.Sense(0)
+	}, printing.Enum(fam), all, cfg)
+	if len(vs) != 0 {
+		t.Fatalf("safe sense flagged: %v", vs)
+	}
+}
+
+func TestCertifySafetyCompactRejectsTrustingSense(t *testing.T) {
+	t.Parallel()
+
+	g, fam, _ := printingFixture(t, 4)
+	liars := []func() comm.Strategy{
+		func() comm.Strategy { return &printing.LyingServer{} },
+	}
+	cfg := CertConfig{MaxRounds: 120, Seed: 1}
+	vs := CertifySafetyCompact(g, func() sensing.Sense {
+		return printing.TrustingSense()
+	}, printing.Enum(fam), liars, cfg)
+	if len(vs) == 0 {
+		t.Fatal("trusting sense passed safety certification")
+	}
+	if !strings.Contains(vs[0].String(), "safety") {
+		t.Fatalf("violation string: %s", vs[0])
+	}
+}
+
+func TestCertifyViabilityCompact(t *testing.T) {
+	t.Parallel()
+
+	g, fam, servers := printingFixture(t, 4)
+	cfg := CertConfig{MaxRounds: 120, Seed: 1}
+
+	vs := CertifyViabilityCompact(g, func() sensing.Sense {
+		return printing.Sense(0)
+	}, printing.Enum(fam), servers, cfg)
+	if len(vs) != 0 {
+		t.Fatalf("viable sense flagged: %v", vs)
+	}
+
+	vs = CertifyViabilityCompact(g, func() sensing.Sense {
+		return printing.ParanoidSense(0)
+	}, printing.Enum(fam), servers, cfg)
+	if len(vs) != len(servers) {
+		t.Fatalf("paranoid sense violations = %d, want %d", len(vs), len(servers))
+	}
+}
+
+func TestStddev(t *testing.T) {
+	t.Parallel()
+
+	if Stddev(nil) != 0 || Stddev([]float64{5}) != 0 {
+		t.Fatal("degenerate stddev not zero")
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if got < 1.99 || got > 2.01 {
+		t.Fatalf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	t.Parallel()
+
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile not zero")
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}

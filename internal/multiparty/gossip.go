@@ -1,0 +1,104 @@
+package multiparty
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dialect"
+)
+
+// GossipResult records a fully symmetric value exchange: every member
+// learns every other member's value through pairwise universal sessions.
+type GossipResult struct {
+	// Values[i][j] is what member i learned about member j (j == i is
+	// the member's own value).
+	Values [][]int
+	// TotalRounds sums all session lengths across all ordered pairs.
+	TotalRounds int
+	// OK reports whether every session succeeded.
+	OK bool
+}
+
+// Consensus returns the maximum value if every member agrees on the full
+// value vector, or an error otherwise — the symmetric goal "all parties
+// know the maximum" in checkable form.
+func (g *GossipResult) Consensus() (int, error) {
+	if !g.OK {
+		return 0, errors.New("multiparty: gossip incomplete")
+	}
+	if len(g.Values) == 0 {
+		return 0, errors.New("multiparty: no members")
+	}
+	first := g.Values[0]
+	for i, row := range g.Values {
+		for j := range row {
+			if row[j] != first[j] {
+				return 0, fmt.Errorf("multiparty: member %d disagrees at %d", i, j)
+			}
+		}
+	}
+	maxV := first[0]
+	for _, v := range first[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return maxV, nil
+}
+
+// GossipAll runs the fully symmetric setting: every member acts as
+// coordinator in turn and learns every other member's value via two-party
+// universal sessions — k·(k−1) sessions in total, the quadratic cost of
+// reducing the symmetric goal pairwise. cfg has the same meaning as for
+// LearnValues.
+func GossipAll(members []*Member, fam *dialect.Family, cfg Config) (*GossipResult, error) {
+	if len(members) == 0 {
+		return nil, errors.New("multiparty: no members")
+	}
+	if fam == nil {
+		return nil, errors.New("multiparty: nil dialect family")
+	}
+
+	k := len(members)
+	res := &GossipResult{
+		Values: make([][]int, k),
+		OK:     true,
+	}
+	for i := range res.Values {
+		res.Values[i] = make([]int, k)
+		res.Values[i][i] = members[i].Value
+	}
+
+	if k == 1 {
+		// A lone member trivially knows the full vector.
+		return res, nil
+	}
+
+	for i := 0; i < k; i++ {
+		// Coordinator i queries every peer j ≠ i.
+		peers := make([]*Member, 0, k-1)
+		idx := make([]int, 0, k-1)
+		for j := 0; j < k; j++ {
+			if j == i {
+				continue
+			}
+			peers = append(peers, members[j])
+			idx = append(idx, j)
+		}
+		perCfg := cfg
+		perCfg.Seed = cfg.Seed*uint64(k+1) + uint64(i) + 1
+		lr, err := LearnValues(peers, fam, perCfg)
+		if err != nil {
+			return nil, fmt.Errorf("multiparty: coordinator %d: %w", i, err)
+		}
+		res.TotalRounds += lr.TotalRounds
+		for p, s := range lr.Sessions {
+			if !s.OK {
+				res.OK = false
+				continue
+			}
+			res.Values[i][idx[p]] = s.Value
+		}
+	}
+	return res, nil
+}

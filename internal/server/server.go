@@ -1,0 +1,214 @@
+// Package server provides the server-side strategy classes of the model.
+//
+// The core of the incompatibility problem is that the user faces not a
+// single server strategy but a class of possible server strategies, with
+// the actual member chosen adversarially. This package builds such classes
+// by wrapping a base ("native protocol") server behaviour with
+// transformations: dialects (language mismatch), delays, noise, and the
+// degenerate unhelpful server that ignores the user entirely.
+package server
+
+import (
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/xrand"
+)
+
+// Dialected wraps a server whose native protocol operates on plain messages
+// so that its wire language on the user channel is the given dialect: user
+// messages are decoded before the inner server sees them, and the inner
+// server's replies are encoded before they reach the user. The
+// server-to-world channel is left untouched — it is "physical", not
+// linguistic.
+func Dialected(inner comm.Strategy, d dialect.Dialect) comm.Strategy {
+	return &dialected{inner: inner, d: d}
+}
+
+type dialected struct {
+	inner comm.Strategy
+	d     dialect.Dialect
+}
+
+var _ comm.Strategy = (*dialected)(nil)
+
+func (s *dialected) Reset(r *xrand.Rand) { s.inner.Reset(r) }
+
+func (s *dialected) Step(in comm.Inbox) (comm.Outbox, error) {
+	in.FromUser = s.d.Decode(in.FromUser)
+	out, err := s.inner.Step(in)
+	if err != nil {
+		return comm.Outbox{}, err
+	}
+	out.ToUser = s.d.Encode(out.ToUser)
+	return out, nil
+}
+
+// Delayed wraps a server so that its replies to the user are delivered k
+// rounds late. Models slow or buffered components; helpful, but punishes
+// impatient sensing.
+func Delayed(inner comm.Strategy, k int) comm.Strategy {
+	if k < 0 {
+		k = 0
+	}
+	return &delayed{inner: inner, k: k}
+}
+
+type delayed struct {
+	inner comm.Strategy
+	k     int
+	queue []comm.Message
+}
+
+var _ comm.Strategy = (*delayed)(nil)
+
+func (s *delayed) Reset(r *xrand.Rand) {
+	s.inner.Reset(r)
+	s.queue = nil
+}
+
+func (s *delayed) Step(in comm.Inbox) (comm.Outbox, error) {
+	out, err := s.inner.Step(in)
+	if err != nil {
+		return comm.Outbox{}, err
+	}
+	s.queue = append(s.queue, out.ToUser)
+	if len(s.queue) > s.k {
+		out.ToUser = s.queue[0]
+		s.queue = s.queue[1:]
+	} else {
+		out.ToUser = ""
+	}
+	return out, nil
+}
+
+// Slow wraps a server so that its entire output profile (to the user AND
+// to the world) is delivered k rounds late — a sluggish component whose
+// effects, not just whose replies, lag. Unlike Delayed, Slow also delays
+// the goal-relevant action path, which is what makes sensing patience
+// matter.
+func Slow(inner comm.Strategy, k int) comm.Strategy {
+	if k < 0 {
+		k = 0
+	}
+	return &slow{inner: inner, k: k}
+}
+
+type slow struct {
+	inner comm.Strategy
+	k     int
+	queue []comm.Outbox
+}
+
+var _ comm.Strategy = (*slow)(nil)
+
+func (s *slow) Reset(r *xrand.Rand) {
+	s.inner.Reset(r)
+	s.queue = nil
+}
+
+func (s *slow) Step(in comm.Inbox) (comm.Outbox, error) {
+	out, err := s.inner.Step(in)
+	if err != nil {
+		return comm.Outbox{}, err
+	}
+	s.queue = append(s.queue, out)
+	if len(s.queue) > s.k {
+		out = s.queue[0]
+		s.queue = s.queue[1:]
+		return out, nil
+	}
+	return comm.Outbox{}, nil
+}
+
+// Noisy wraps a server so that each message from the user is dropped
+// (replaced by silence) independently with probability p. Helpfulness is
+// preserved for p < 1 on forgiving goals because retries eventually get
+// through.
+func Noisy(inner comm.Strategy, p float64) comm.Strategy {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return &noisy{inner: inner, p: p}
+}
+
+type noisy struct {
+	inner comm.Strategy
+	p     float64
+	r     *xrand.Rand
+}
+
+var _ comm.Strategy = (*noisy)(nil)
+
+func (s *noisy) Reset(r *xrand.Rand) {
+	s.inner.Reset(r)
+	if r != nil {
+		s.r = r.Split()
+	} else {
+		s.r = xrand.New(0)
+	}
+}
+
+func (s *noisy) Step(in comm.Inbox) (comm.Outbox, error) {
+	if !in.FromUser.Empty() && s.r.Float64() < s.p {
+		in.FromUser = ""
+	}
+	return s.inner.Step(in)
+}
+
+// Obstinate returns the canonical unhelpful server: it ignores every
+// message and never assists. No user strategy achieves a server-dependent
+// goal with it, so universal users are *not* required to succeed against it
+// — it exists to test that helpfulness certification rejects it.
+func Obstinate() comm.Strategy { return &obstinate{} }
+
+type obstinate struct{}
+
+var _ comm.Strategy = (*obstinate)(nil)
+
+func (*obstinate) Reset(*xrand.Rand)                    {}
+func (*obstinate) Step(comm.Inbox) (comm.Outbox, error) { return comm.Outbox{}, nil }
+
+// Class is a finite, indexable class of server strategies — the object a
+// universal user must be compatible with in its entirety.
+type Class struct {
+	name      string
+	factories []func() comm.Strategy
+}
+
+// NewClass builds a class from strategy factories. Factories must return a
+// fresh instance per call.
+func NewClass(name string, factories []func() comm.Strategy) *Class {
+	copied := make([]func() comm.Strategy, len(factories))
+	copy(copied, factories)
+	return &Class{name: name, factories: copied}
+}
+
+// DialectClass builds the class {Dialected(base(), d) : d in family} — one
+// server per dialect, all sharing the same native behaviour.
+func DialectClass(name string, fam *dialect.Family, base func() comm.Strategy) *Class {
+	factories := make([]func() comm.Strategy, fam.Size())
+	for i := range factories {
+		d := fam.Dialect(i)
+		factories[i] = func() comm.Strategy { return Dialected(base(), d) }
+	}
+	return NewClass(name, factories)
+}
+
+// Name returns the class name.
+func (c *Class) Name() string { return c.name }
+
+// Size returns the number of servers in the class.
+func (c *Class) Size() int { return len(c.factories) }
+
+// New instantiates the i-th server; indices wrap modulo Size.
+func (c *Class) New(i int) comm.Strategy {
+	n := len(c.factories)
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return c.factories[i]()
+}

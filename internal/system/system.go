@@ -1,0 +1,134 @@
+// Package system implements the synchronous execution engine for the
+// three-party (user, server, world) model.
+//
+// Execution proceeds in rounds. In each round every party consumes the
+// messages sent to it in the previous round and produces messages to be
+// delivered in the next round; after the world's step its state is
+// snapshotted into the history that referees judge. The engine is
+// single-goroutine and fully deterministic given Config.Seed.
+package system
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/goal"
+	"repro/internal/xrand"
+)
+
+// DefaultMaxRounds bounds executions whose configuration leaves MaxRounds
+// unset. Compact goals conceptually run forever; the bound is the finite
+// horizon on which their referees are evaluated.
+const DefaultMaxRounds = 1000
+
+// ErrNoProgress is reserved for engines layered above this one; the base
+// engine itself always runs to halt or horizon.
+var ErrNoProgress = errors.New("system: execution made no progress")
+
+// Config controls a single execution.
+type Config struct {
+	// MaxRounds is the execution horizon; 0 means DefaultMaxRounds.
+	MaxRounds int
+
+	// Seed determines all randomness in the execution. The engine
+	// derives independent streams for the user, server and world.
+	Seed uint64
+
+	// OnRound, if non-nil, is invoked after every round with the round
+	// index (0-based), the user's view of the round, and the world
+	// snapshot. Used by trace experiments; leave nil on hot paths.
+	OnRound func(round int, rv comm.RoundView, state comm.WorldState)
+}
+
+// Result is the record of one execution.
+type Result struct {
+	// History is the sequence of world snapshots, one per round.
+	History comm.History
+
+	// View is the user's view of the execution (its inboxes and
+	// outboxes, one RoundView per round).
+	View comm.View
+
+	// Rounds is the number of completed rounds.
+	Rounds int
+
+	// Halted reports whether the user strategy declared itself halted
+	// (relevant to finite goals) before the horizon.
+	Halted bool
+}
+
+// Run executes (user, server, world) for up to cfg.MaxRounds rounds or until
+// a halting user strategy halts. All three strategies are Reset with
+// independent deterministic streams derived from cfg.Seed before the first
+// round.
+func Run(user, server comm.Strategy, world goal.World, cfg Config) (*Result, error) {
+	if user == nil || server == nil || world == nil {
+		return nil, errors.New("system: nil strategy")
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+
+	root := xrand.New(cfg.Seed)
+	user.Reset(root.Split())
+	server.Reset(root.Split())
+	world.Reset(root.Split())
+
+	halter, _ := user.(comm.Halter)
+
+	res := &Result{
+		History: comm.History{States: make([]comm.WorldState, 0, maxRounds)},
+		View:    comm.View{Rounds: make([]comm.RoundView, 0, maxRounds)},
+	}
+
+	// Messages in flight: produced last round, delivered this round.
+	var fromUser, fromServer, fromWorld comm.Outbox
+
+	for round := 0; round < maxRounds; round++ {
+		userIn := comm.Inbox{
+			FromServer: fromServer.ToUser,
+			FromWorld:  fromWorld.ToUser,
+		}
+		serverIn := comm.Inbox{
+			FromUser:  fromUser.ToServer,
+			FromWorld: fromWorld.ToServer,
+		}
+		worldIn := comm.Inbox{
+			FromUser:   fromUser.ToWorld,
+			FromServer: fromServer.ToWorld,
+		}
+
+		userOut, err := user.Step(userIn)
+		if err != nil {
+			return nil, fmt.Errorf("system: user step (round %d): %w", round, err)
+		}
+		serverOut, err := server.Step(serverIn)
+		if err != nil {
+			return nil, fmt.Errorf("system: server step (round %d): %w", round, err)
+		}
+		worldOut, err := world.Step(worldIn)
+		if err != nil {
+			return nil, fmt.Errorf("system: world step (round %d): %w", round, err)
+		}
+
+		fromUser, fromServer, fromWorld = userOut, serverOut, worldOut
+
+		state := world.Snapshot()
+		res.History.States = append(res.History.States, state)
+		rv := comm.RoundView{In: userIn, Out: userOut}
+		res.View.Rounds = append(res.View.Rounds, rv)
+		res.Rounds = round + 1
+
+		if cfg.OnRound != nil {
+			cfg.OnRound(round, rv, state)
+		}
+
+		if halter != nil && halter.Halted() {
+			res.Halted = true
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,249 @@
+// Package universal implements the paper's main result (Theorem 1): for any
+// compact or finite goal with safe and viable sensing, a universal user
+// strategy exists.
+//
+//   - CompactUser handles compact goals: it enumerates candidate user
+//     strategies and switches from the current one to the next whenever the
+//     sensing function produces a negative indication.
+//   - FiniteRunner handles finite goals: candidate strategies are enumerated
+//     "in parallel" in the style of Levin's universal search, with doubling
+//     time budgets, and sensing decides when to stop.
+package universal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/enumerate"
+	"repro/internal/goal"
+	"repro/internal/sensing"
+	"repro/internal/system"
+	"repro/internal/xrand"
+)
+
+// CompactUser is the enumeration-with-switching universal user for compact
+// goals. It is itself a comm.Strategy and can be paired with any server.
+//
+// On every round it runs the current candidate strategy and feeds the round
+// into the sensing function; a negative indication evicts the candidate and
+// installs the next one in the enumeration (wrapping around at the end —
+// legitimate for forgiving goals, where earlier missteps never doom the
+// execution).
+type CompactUser struct {
+	enum  enumerate.Enumerator
+	sense sensing.Sense
+
+	r        *xrand.Rand
+	inner    comm.Strategy
+	index    int
+	switches int
+}
+
+var _ comm.Strategy = (*CompactUser)(nil)
+
+// NewCompactUser builds the universal user from a strategy enumeration and
+// a sensing function. It returns an error on nil arguments.
+func NewCompactUser(enum enumerate.Enumerator, sense sensing.Sense) (*CompactUser, error) {
+	if enum == nil {
+		return nil, errors.New("universal: nil enumerator")
+	}
+	if sense == nil {
+		return nil, errors.New("universal: nil sense")
+	}
+	return &CompactUser{enum: enum, sense: sense}, nil
+}
+
+// Reset implements comm.Strategy.
+func (u *CompactUser) Reset(r *xrand.Rand) {
+	if r == nil {
+		r = xrand.New(0)
+	}
+	u.r = r
+	u.index = 0
+	u.switches = 0
+	u.install()
+}
+
+func (u *CompactUser) install() {
+	u.inner = u.enum.Strategy(u.index)
+	u.inner.Reset(u.r.Split())
+	u.sense.Reset()
+}
+
+// Step implements comm.Strategy: run the current candidate, then consult
+// sensing and switch on a negative indication.
+func (u *CompactUser) Step(in comm.Inbox) (comm.Outbox, error) {
+	out, err := u.inner.Step(in)
+	if err != nil {
+		return comm.Outbox{}, fmt.Errorf("universal: candidate %d: %w", u.index, err)
+	}
+	if !u.sense.Observe(comm.RoundView{In: in, Out: out}) {
+		u.index++
+		u.switches++
+		u.install()
+	}
+	return out, nil
+}
+
+// Index returns the (absolute, non-wrapped) index of the current candidate
+// strategy.
+func (u *CompactUser) Index() int { return u.index }
+
+// Switches returns how many times the user has evicted a candidate since
+// the last Reset.
+func (u *CompactUser) Switches() int { return u.switches }
+
+// Attempt records one Levin-search attempt of the finite-goal runner.
+type Attempt struct {
+	// Index is the candidate strategy index tried.
+	Index int
+	// Budget is the round budget allotted to the attempt.
+	Budget int
+	// Rounds is how many rounds actually ran.
+	Rounds int
+	// Halted reports whether the candidate declared completion.
+	Halted bool
+	// Verdict is the sensing function's final indication on the
+	// attempt's view.
+	Verdict bool
+}
+
+// FiniteResult summarizes a finite-goal universal search.
+type FiniteResult struct {
+	// Succeeded reports whether some attempt ended with a positive
+	// sensing verdict.
+	Succeeded bool
+	// Index and Budget identify the successful attempt.
+	Index  int
+	Budget int
+	// TotalRounds is the total number of simulated rounds across all
+	// attempts — the overhead the theory says is essentially necessary.
+	TotalRounds int
+	// Attempts lists every attempt in order.
+	Attempts []Attempt
+	// Final is the execution result of the successful attempt (nil if
+	// the search failed).
+	Final *system.Result
+}
+
+// Schedule selects how the finite-goal runner divides time among candidate
+// strategies.
+type Schedule int
+
+// Dovetailing schedules.
+const (
+	// ScheduleUniform dovetails candidates with linearly growing
+	// budgets: phase p runs candidates 0..p, each with budget p+1
+	// rounds. Success at candidate i needing b rounds costs
+	// O(max(i,b)³) total rounds — polynomial overhead, the practical
+	// choice for experiments.
+	ScheduleUniform Schedule = iota + 1
+
+	// ScheduleExponential is classic Levin weighting: phase p runs
+	// candidates 0..p with budget 2^(p−i) rounds, giving candidate i a
+	// constant fraction ~2^−i of all simulated time. Optimal up to a
+	// constant factor in the weighted sense, but only candidates of
+	// small index are reachable in practice.
+	ScheduleExponential
+)
+
+// FiniteRunner is the Levin-style universal user for finite goals. Because
+// the finite-goal definition quantifies over all server and world start
+// states, each attempt may legitimately run in a fresh execution; the
+// runner dovetails candidate strategies "in parallel" per the selected
+// Schedule and uses sensing to decide when to stop.
+type FiniteRunner struct {
+	// Enum is the candidate user-strategy enumeration.
+	Enum enumerate.Enumerator
+	// Sense judges a completed attempt's view; safety for finite goals
+	// means it is positive only on views whose histories the referee
+	// accepts.
+	Sense sensing.Sense
+	// Schedule selects the dovetailing; zero means ScheduleUniform.
+	Schedule Schedule
+	// MaxPhases bounds the search; 0 means the schedule's default
+	// (DefaultUniformPhases or DefaultExponentialPhases).
+	MaxPhases int
+	// BudgetCap bounds any single attempt's rounds; 0 means no cap
+	// beyond the phase structure.
+	BudgetCap int
+}
+
+// Default phase bounds per schedule.
+const (
+	DefaultUniformPhases     = 512
+	DefaultExponentialPhases = 20
+)
+
+// Run performs the universal search. mkServer and mkWorld create a fresh
+// server and world per attempt (the adversary's choice is fixed by the
+// caller); seed drives all randomness deterministically.
+func (fr *FiniteRunner) Run(
+	mkServer func() comm.Strategy,
+	mkWorld func() goal.World,
+	seed uint64,
+) (*FiniteResult, error) {
+	if fr.Enum == nil || fr.Sense == nil {
+		return nil, errors.New("universal: FiniteRunner needs Enum and Sense")
+	}
+	if mkServer == nil || mkWorld == nil {
+		return nil, errors.New("universal: FiniteRunner needs server and world factories")
+	}
+	sched := fr.Schedule
+	if sched == 0 {
+		sched = ScheduleUniform
+	}
+	maxPhases := fr.MaxPhases
+	if maxPhases <= 0 {
+		if sched == ScheduleExponential {
+			maxPhases = DefaultExponentialPhases
+		} else {
+			maxPhases = DefaultUniformPhases
+		}
+	}
+	size := fr.Enum.Size()
+
+	res := &FiniteResult{}
+	root := xrand.New(seed)
+	for p := 0; p < maxPhases; p++ {
+		for i := 0; i <= p; i++ {
+			if size != enumerate.Unbounded && i >= size {
+				break
+			}
+			budget := p + 1
+			if sched == ScheduleExponential {
+				budget = 1 << (p - i)
+			}
+			if fr.BudgetCap > 0 && budget > fr.BudgetCap {
+				continue
+			}
+			attemptSeed := root.Uint64()
+			cand := fr.Enum.Strategy(i)
+			exec, err := system.Run(cand, mkServer(), mkWorld(), system.Config{
+				MaxRounds: budget,
+				Seed:      attemptSeed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("universal: attempt (cand %d, budget %d): %w", i, budget, err)
+			}
+			verdict := exec.Halted && sensing.Replay(fr.Sense, exec.View)
+			res.TotalRounds += exec.Rounds
+			res.Attempts = append(res.Attempts, Attempt{
+				Index:   i,
+				Budget:  budget,
+				Rounds:  exec.Rounds,
+				Halted:  exec.Halted,
+				Verdict: verdict,
+			})
+			if verdict {
+				res.Succeeded = true
+				res.Index = i
+				res.Budget = budget
+				res.Final = exec
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}
