@@ -73,17 +73,72 @@ func BenchmarkF2SwitchTrace(b *testing.B) { benchExperiment(b, "F2") }
 // --- micro-benchmarks: engine and substrate hot paths ---
 
 // BenchmarkEngineRound measures raw engine throughput: rounds/sec of a
-// silent three-party system.
+// silent three-party system, under each retention policy. The full
+// sub-benchmark is the seed's recording baseline; window and off show the
+// allocation win of keeping only what referees consume. Results are
+// released back to the engine pool, as batch hot paths do.
 func BenchmarkEngineRound(b *testing.B) {
-	usr := &treasure.Candidate{Guess: 0}
-	srv := server.Obstinate()
-	w := &treasure.World{}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := system.Run(usr, srv, w, system.Config{MaxRounds: 1000, Seed: 1}); err != nil {
-			b.Fatal(err)
+	for _, bc := range []struct {
+		name string
+		rec  system.RecordPolicy
+	}{
+		{"full", system.RecordFull},
+		{"window10", system.RecordWindow(10)},
+		{"off", system.RecordOff},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			usr := &treasure.Candidate{Guess: 0}
+			srv := server.Obstinate()
+			w := &treasure.World{}
+			cfg := system.Config{MaxRounds: 1000, Seed: 1, Record: bc.rec}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := system.Run(usr, srv, w, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				system.ReleaseResult(res)
+			}
+		})
+	}
+}
+
+// BenchmarkRunBatch measures batch scheduling: 64 independent
+// password-vault trials per iteration, serial vs the GOMAXPROCS pool.
+func BenchmarkRunBatch(b *testing.B) {
+	mkTrials := func() []system.Trial {
+		trials := make([]system.Trial, 64)
+		for t := range trials {
+			trials[t] = system.Trial{
+				User:   func() (comm.Strategy, error) { return &treasure.Candidate{Guess: t % 8}, nil },
+				Server: func() comm.Strategy { return &treasure.Server{Secret: t % 8} },
+				World:  func() goal.World { return &treasure.World{} },
+				Config: system.Config{MaxRounds: 500, Seed: uint64(t + 1), Record: system.RecordWindow(10)},
+			}
 		}
+		return trials
+	}
+	for _, bc := range []struct {
+		name     string
+		parallel int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := system.RunBatch(mkTrials(), system.BatchConfig{Parallelism: bc.parallel})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					system.ReleaseResult(res)
+				}
+			}
+		})
 	}
 }
 

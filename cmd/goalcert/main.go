@@ -7,6 +7,11 @@
 //	goalcert -goal printing -class 8
 //	goalcert -goal treasure -class 16
 //	goalcert -goal transfer -class 6
+//	goalcert -goal control -class 5 -parallel 4
+//
+// Certification sweeps are embarrassingly parallel and run through the
+// batch engine; -parallel bounds the worker pool without affecting the
+// verdicts.
 //
 // For each goal it builds the standard server class (plus known-unhelpful
 // probes: an obstinate server and, where defined, a lying one), reports
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"repro/internal/comm"
 	"repro/internal/dialect"
@@ -141,6 +147,7 @@ func run(args []string, stdout io.Writer) error {
 		classSize = fs.Int("class", 8, "server class size")
 		rounds    = fs.Int("rounds", 0, "horizon per certification run (0 = 60 × class size)")
 		seed      = fs.Uint64("seed", 1, "root random seed")
+		parallel  = fs.Int("parallel", 0, "certification worker pool size (0 = GOMAXPROCS); does not affect results")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -158,7 +165,7 @@ func run(args []string, stdout io.Writer) error {
 	if horizon <= 0 {
 		horizon = 60 * *classSize
 	}
-	cfg := harness.CertConfig{MaxRounds: horizon, Seed: *seed, Envs: 1}
+	cfg := harness.CertConfig{MaxRounds: horizon, Seed: *seed, Envs: 1, Parallel: *parallel}
 
 	// 1. Helpfulness of every class member and every probe.
 	tbl := &harness.Table{
@@ -174,8 +181,15 @@ func run(args []string, stdout io.Writer) error {
 		}
 		tbl.AddRow(fmt.Sprintf("class[%d]", i), yesNo(ok), w)
 	}
-	for name, mk := range b.probes {
-		ok, _ := harness.HelpfulCompact(b.goal, mk, b.enum, cfg)
+	// Probes are iterated in sorted name order so the report (and the
+	// violation indices below) are identical run to run.
+	probeNames := make([]string, 0, len(b.probes))
+	for name := range b.probes {
+		probeNames = append(probeNames, name)
+	}
+	sort.Strings(probeNames)
+	for _, name := range probeNames {
+		ok, _ := harness.HelpfulCompact(b.goal, b.probes[name], b.enum, cfg)
 		tbl.AddRow("probe:"+name, yesNo(ok), "-")
 		if ok {
 			return fmt.Errorf("probe %q wrongly certified helpful", name)
@@ -187,8 +201,8 @@ func run(args []string, stdout io.Writer) error {
 
 	// 2. Safety against class ∪ probes; viability against the class.
 	all := append([]func() comm.Strategy{}, b.servers...)
-	for _, mk := range b.probes {
-		all = append(all, mk)
+	for _, name := range probeNames {
+		all = append(all, b.probes[name])
 	}
 	safety := harness.CertifySafetyCompact(b.goal, b.mkSense, b.enum, all, cfg)
 	viability := harness.CertifyViabilityCompact(b.goal, b.mkSense, b.enum, b.servers, cfg)

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunJSONReport(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "T2", "-quick", "-json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	var reports []struct {
+		ID     string `json:"id"`
+		Title  string `json:"title"`
+		Report struct {
+			Tables []struct {
+				ID      string     `json:"id"`
+				Columns []string   `json:"columns"`
+				Rows    [][]string `json:"rows"`
+			} `json:"tables"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &reports); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(reports) != 1 || reports[0].ID != "T2" {
+		t.Fatalf("unexpected reports: %+v", reports)
+	}
+	tbl := reports[0].Report.Tables[0]
+	if len(tbl.Rows) == 0 || len(tbl.Rows[0]) != len(tbl.Columns) {
+		t.Fatalf("malformed table: %+v", tbl)
+	}
+}
+
+func TestRunJSONDeterministicAcrossParallelism(t *testing.T) {
+	render := func(parallel string) string {
+		var b strings.Builder
+		if err := run([]string{"-experiment", "T1", "-quick", "-json", "-parallel", parallel}, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if serial, eight := render("1"), render("8"); serial != eight {
+		t.Fatal("-json output differs between -parallel 1 and -parallel 8")
+	}
+}

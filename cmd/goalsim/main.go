@@ -6,12 +6,20 @@
 //	goalsim -experiment all            # run everything (full sizes)
 //	goalsim -experiment T2 -quick      # one experiment at reduced scale
 //	goalsim -experiment A5             # ablations A1..A5
+//	goalsim -parallel 4                # bound the trial worker pool
+//	goalsim -experiment T1 -json       # machine-readable report
 //	goalsim -list                      # show available experiments
 //
-// Output goes to stdout (or -out FILE); runs are deterministic per -seed.
+// Output goes to stdout (or -out FILE); runs are deterministic per -seed,
+// and -parallel never changes the report (trials execute through the batch
+// engine, which delivers results in submission order). -json emits the
+// tables and series as a JSON array — one object per experiment — for
+// tracking benchmark trajectories across commits; the JSON is fully
+// deterministic (no timings).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
 )
 
 func main() {
@@ -34,6 +43,8 @@ func run(args []string, stdout io.Writer) error {
 		experiment = fs.String("experiment", "all", "experiment id (T1..T6, F1, F2, A1..A5) or \"all\"")
 		quick      = fs.Bool("quick", false, "reduced sizes for a fast smoke run")
 		seed       = fs.Uint64("seed", 1, "root random seed")
+		parallel   = fs.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
+		jsonOut    = fs.Bool("json", false, "emit the report as JSON instead of ASCII tables")
 		outPath    = fs.String("out", "", "write the report to this file instead of stdout")
 		list       = fs.Bool("list", false, "list available experiments and exit")
 	)
@@ -70,7 +81,27 @@ func run(args []string, stdout io.Writer) error {
 		runners = []experiments.Runner{r}
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallel: *parallel}
+
+	if *jsonOut {
+		type jsonExperiment struct {
+			ID     string          `json:"id"`
+			Title  string          `json:"title"`
+			Report *harness.Report `json:"report"`
+		}
+		reports := make([]jsonExperiment, 0, len(runners))
+		for _, r := range runners {
+			rep, err := r.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", r.ID, err)
+			}
+			reports = append(reports, jsonExperiment{ID: r.ID, Title: r.Title, Report: rep})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+
 	for _, r := range runners {
 		start := time.Now()
 		rep, err := r.Run(cfg)

@@ -104,17 +104,28 @@ type WorldState string
 
 // History is the sequence of world states produced by an execution, one per
 // completed round. Referee predicates are defined over histories.
+//
+// Under windowed recording (see the execution engine's retention policy)
+// only the trailing States are materialized and Dropped counts the
+// discarded leading rounds; Len still reports the logical length. Referees
+// that judge a history by its recent states — every stock goal in this
+// repository serializes cumulative world state into each snapshot — are
+// unaffected by the missing prefix.
 type History struct {
 	// States holds the world state recorded after each round; States[i]
-	// is the state at the end of round i (0-based).
+	// is the state at the end of round Dropped+i (0-based).
 	States []WorldState
+
+	// Dropped is the number of leading rounds whose states were
+	// discarded by windowed recording; 0 for fully recorded histories.
+	Dropped int
 }
 
-// Len returns the number of recorded rounds.
-func (h History) Len() int { return len(h.States) }
+// Len returns the number of completed rounds, including dropped ones.
+func (h History) Len() int { return h.Dropped + len(h.States) }
 
 // Last returns the most recent world state, or the empty state if no round
-// has completed.
+// was recorded.
 func (h History) Last() WorldState {
 	if len(h.States) == 0 {
 		return ""
@@ -123,9 +134,13 @@ func (h History) Last() WorldState {
 }
 
 // Prefix returns the history truncated to its first n states. It panics if
-// n is out of range, mirroring slice semantics.
+// n is out of range, mirroring slice semantics, or — with a descriptive
+// message — if n reaches into the rounds a windowed recording dropped.
 func (h History) Prefix(n int) History {
-	return History{States: h.States[:n]}
+	if n < h.Dropped {
+		panic(fmt.Sprintf("comm: Prefix(%d) reaches into the %d dropped rounds of a windowed history", n, h.Dropped))
+	}
+	return History{States: h.States[:n-h.Dropped], Dropped: h.Dropped}
 }
 
 // RoundView is what the user observed and did during a single round: the
@@ -138,12 +153,19 @@ type RoundView struct {
 // View is the portion of the execution visible to the user: its own rounds,
 // in order. Sensing functions — the feedback mechanism of the theory — are
 // predicates over views, never over hidden server or world internals.
+//
+// Like History, a view produced under windowed recording keeps only the
+// trailing Rounds and counts the discarded prefix in Dropped.
 type View struct {
 	Rounds []RoundView
+
+	// Dropped is the number of leading rounds discarded by windowed
+	// recording; 0 for fully recorded views.
+	Dropped int
 }
 
-// Len returns the number of rounds in the view.
-func (v View) Len() int { return len(v.Rounds) }
+// Len returns the number of rounds in the view, including dropped ones.
+func (v View) Len() int { return v.Dropped + len(v.Rounds) }
 
 // Last returns the most recent round view. It returns a zero RoundView when
 // the view is empty.
@@ -157,5 +179,8 @@ func (v View) Last() RoundView {
 // Append returns a copy-on-write extension of the view with one more round.
 // The underlying array may be shared; callers must treat views as immutable.
 func (v View) Append(rv RoundView) View {
-	return View{Rounds: append(v.Rounds[:len(v.Rounds):len(v.Rounds)], rv)}
+	return View{
+		Rounds:  append(v.Rounds[:len(v.Rounds):len(v.Rounds)], rv),
+		Dropped: v.Dropped,
+	}
 }

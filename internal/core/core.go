@@ -86,6 +86,15 @@ type (
 	RunConfig = system.Config
 	// RunResult records one execution.
 	RunResult = system.Result
+
+	// Trial specifies one independent execution inside a batch.
+	Trial = system.Trial
+	// BatchConfig controls batch scheduling (worker pool size, seed
+	// derivation).
+	BatchConfig = system.BatchConfig
+	// RecordPolicy selects how much of an execution is materialized
+	// (full, trailing window, or off).
+	RecordPolicy = system.RecordPolicy
 )
 
 // NewCompactUniversalUser builds the paper's compact-goal universal user
@@ -103,6 +112,13 @@ func DialectedServer(inner Strategy, d Dialect) Strategy {
 // Run executes (user, server, world) under cfg.
 func Run(user, srv Strategy, w World, cfg RunConfig) (*RunResult, error) {
 	return system.Run(user, srv, w, cfg)
+}
+
+// RunBatch executes independent trials across a bounded worker pool,
+// returning results in submission order; parallel output is identical to
+// serial output. See system.RunBatch.
+func RunBatch(trials []Trial, cfg BatchConfig) ([]*RunResult, error) {
+	return system.RunBatch(trials, cfg)
 }
 
 // DefaultWindow is the convergence window used by AchieveCompact.

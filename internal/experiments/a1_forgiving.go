@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/comm"
 	"repro/internal/dialect"
 	"repro/internal/goal"
 	"repro/internal/goals/printing"
@@ -45,43 +46,58 @@ func RunA1(cfg Config) (*harness.Report, error) {
 		},
 	}
 
+	// Two trials per tray size (universal, oracle), all in one batch.
+	type a1run struct {
+		g    *printing.Goal
+		w    goal.World
+		user string
+	}
+	runs := make([]a1run, 0, 2*len(trays))
+	trials := make([]system.Trial, 0, 2*len(trays))
 	for _, paper := range trays {
 		g := &printing.Goal{Docs: []string{"target"}, Paper: paper}
-		forgiving := "yes"
-		if !g.ForgivingGoal() {
-			forgiving = "no"
-		}
-
-		// Universal user.
-		u, err := universal.NewCompactUser(printing.Enum(fam), printing.Sense(0))
-		if err != nil {
-			return nil, fmt.Errorf("A1: %w", err)
-		}
-		srv := server.Dialected(&printing.TouchyServer{}, fam.Dialect(serverIdx))
 		w := g.NewWorld(goal.Env{})
-		res, err := system.Run(u, srv, w, system.Config{MaxRounds: 50 * famSize, Seed: cfg.seed()})
-		if err != nil {
-			return nil, fmt.Errorf("A1: universal tray %d: %w", paper, err)
-		}
-		achieved := goal.CompactAchieved(g, res.History, 10)
-		sheets, errPages := countSheets(w)
-		tbl.AddRow(trayLabel(paper), forgiving, "universal",
-			yesNo(achieved), harness.I(sheets), harness.I(errPages))
+		runs = append(runs, a1run{g: g, w: w, user: "universal"})
+		trials = append(trials, system.Trial{
+			User: func() (comm.Strategy, error) {
+				return universal.NewCompactUser(printing.Enum(fam), printing.Sense(0))
+			},
+			Server: func() comm.Strategy {
+				return server.Dialected(&printing.TouchyServer{}, fam.Dialect(serverIdx))
+			},
+			World:  func() goal.World { return w },
+			Config: system.Config{MaxRounds: 50 * famSize, Seed: cfg.seed()},
+		})
 
 		// Oracle user: no probing, one command, one sheet.
 		g2 := &printing.Goal{Docs: []string{"target"}, Paper: paper}
 		w2 := g2.NewWorld(goal.Env{})
-		oracle := &printing.Candidate{D: fam.Dialect(serverIdx), Resend: 1000}
-		res2, err := system.Run(oracle,
-			server.Dialected(&printing.TouchyServer{}, fam.Dialect(serverIdx)),
-			w2, system.Config{MaxRounds: 80, Seed: cfg.seed()})
-		if err != nil {
-			return nil, fmt.Errorf("A1: oracle tray %d: %w", paper, err)
+		runs = append(runs, a1run{g: g2, w: w2, user: "oracle"})
+		trials = append(trials, system.Trial{
+			User: func() (comm.Strategy, error) {
+				return &printing.Candidate{D: fam.Dialect(serverIdx), Resend: 1000}, nil
+			},
+			Server: func() comm.Strategy {
+				return server.Dialected(&printing.TouchyServer{}, fam.Dialect(serverIdx))
+			},
+			World:  func() goal.World { return w2 },
+			Config: system.Config{MaxRounds: 80, Seed: cfg.seed()},
+		})
+	}
+	results, err := system.RunBatch(trials, cfg.batch())
+	if err != nil {
+		return nil, fmt.Errorf("A1: %w", err)
+	}
+
+	for i, run := range runs {
+		forgiving := "yes"
+		if !run.g.ForgivingGoal() {
+			forgiving = "no"
 		}
-		achieved2 := goal.CompactAchieved(g2, res2.History, 10)
-		sheets2, errPages2 := countSheets(w2)
-		tbl.AddRow(trayLabel(paper), forgiving, "oracle",
-			yesNo(achieved2), harness.I(sheets2), harness.I(errPages2))
+		achieved := goal.CompactAchieved(run.g, results[i].History, 10)
+		sheets, errPages := countSheets(run.w)
+		tbl.AddRow(trayLabel(run.g.Paper), forgiving, run.user,
+			yesNo(achieved), harness.I(sheets), harness.I(errPages))
 	}
 	return &harness.Report{Tables: []*harness.Table{tbl}}, nil
 }

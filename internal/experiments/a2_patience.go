@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/comm"
 	"repro/internal/dialect"
 	"repro/internal/goal"
 	"repro/internal/goals/transfer"
@@ -52,35 +53,53 @@ func RunA2(cfg Config) (*harness.Report, error) {
 		},
 	}
 
+	// The (slowness, patience) grid is one batch; rows are emitted in
+	// grid order from the in-order results.
+	horizon := 400 * famSize
+	type a2cell struct {
+		delay, patience int
+		u               *universal.CompactUser
+	}
+	cells := make([]*a2cell, 0, len(delays)*len(patiences))
+	trials := make([]system.Trial, 0, len(delays)*len(patiences))
 	for _, delay := range delays {
 		for _, patience := range patiences {
-			u, err := universal.NewCompactUser(transfer.Enum(fam), transfer.Sense(patience))
-			if err != nil {
-				return nil, fmt.Errorf("A2: %w", err)
-			}
-			srv := server.Slow(
-				server.Dialected(&transfer.Server{}, fam.Dialect(serverIdx)), delay)
-			horizon := 400 * famSize
-			res, err := system.Run(u, srv, g.NewWorld(goal.Env{}), system.Config{
-				MaxRounds: horizon, Seed: cfg.seed(),
+			cell := &a2cell{delay: delay, patience: patience}
+			cells = append(cells, cell)
+			trials = append(trials, system.Trial{
+				User: func() (comm.Strategy, error) {
+					u, err := universal.NewCompactUser(transfer.Enum(fam), transfer.Sense(patience))
+					cell.u = u
+					return u, err
+				},
+				Server: func() comm.Strategy {
+					return server.Slow(
+						server.Dialected(&transfer.Server{}, fam.Dialect(serverIdx)), delay)
+				},
+				World:  func() goal.World { return g.NewWorld(goal.Env{}) },
+				Config: system.Config{MaxRounds: horizon, Seed: cfg.seed()},
 			})
-			if err != nil {
-				return nil, fmt.Errorf("A2: slowness %d patience %d: %w", delay, patience, err)
-			}
-
-			achieved := goal.CompactAchieved(g, res.History, 10)
-			converged := "-"
-			if achieved {
-				converged = harness.I(goal.LastUnacceptable(g, res.History))
-			}
-			tbl.AddRow(
-				harness.I(delay),
-				harness.I(patience),
-				yesNo(achieved),
-				converged,
-				harness.I(u.Switches()),
-			)
 		}
+	}
+	results, err := system.RunBatch(trials, cfg.batch())
+	if err != nil {
+		return nil, fmt.Errorf("A2: %w", err)
+	}
+
+	for i, cell := range cells {
+		res := results[i]
+		achieved := goal.CompactAchieved(g, res.History, 10)
+		converged := "-"
+		if achieved {
+			converged = harness.I(goal.LastUnacceptable(g, res.History))
+		}
+		tbl.AddRow(
+			harness.I(cell.delay),
+			harness.I(cell.patience),
+			yesNo(achieved),
+			converged,
+			harness.I(cell.u.Switches()),
+		)
 	}
 	return &harness.Report{Tables: []*harness.Table{tbl}}, nil
 }

@@ -57,6 +57,7 @@ func RunA3(cfg Config) (*harness.Report, error) {
 				Sense:     delegation.Sense(),
 				Schedule:  sched.s,
 				MaxPhases: sched.max,
+				Parallel:  cfg.Parallel,
 			}
 			res, err := fr.Run(
 				func() comm.Strategy {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/comm"
 	"repro/internal/dialect"
 	"repro/internal/goal"
 	"repro/internal/goals/transfer"
@@ -48,20 +49,29 @@ func RunA4(cfg Config) (*harness.Report, error) {
 	}
 
 	for _, p := range drops {
+		batch := make([]system.Trial, trials)
+		for trial := 0; trial < trials; trial++ {
+			batch[trial] = system.Trial{
+				User: func() (comm.Strategy, error) {
+					return universal.NewCompactUser(transfer.Enum(fam), transfer.Sense(patience))
+				},
+				Server: func() comm.Strategy {
+					return server.Noisy(server.Dialected(&transfer.Server{}, fam.Dialect(serverIdx)), p)
+				},
+				World: func() goal.World { return g.NewWorld(goal.Env{}) },
+				Config: system.Config{
+					MaxRounds: 6000, Seed: cfg.seed() + uint64(trial)*31,
+				},
+			}
+		}
+		results, err := system.RunBatch(batch, cfg.batch())
+		if err != nil {
+			return nil, fmt.Errorf("A4: p=%.1f: %w", p, err)
+		}
+
 		succ := 0
 		var rounds []float64
-		for trial := 0; trial < trials; trial++ {
-			u, err := universal.NewCompactUser(transfer.Enum(fam), transfer.Sense(patience))
-			if err != nil {
-				return nil, fmt.Errorf("A4: %w", err)
-			}
-			srv := server.Noisy(server.Dialected(&transfer.Server{}, fam.Dialect(serverIdx)), p)
-			res, err := system.Run(u, srv, g.NewWorld(goal.Env{}), system.Config{
-				MaxRounds: 6000, Seed: cfg.seed() + uint64(trial)*31,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("A4: p=%.1f trial %d: %w", p, trial, err)
-			}
+		for _, res := range results {
 			if goal.CompactAchieved(g, res.History, 10) {
 				succ++
 				rounds = append(rounds, float64(goal.LastUnacceptable(g, res.History)))

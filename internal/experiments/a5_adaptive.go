@@ -44,19 +44,24 @@ func RunA5(cfg Config) (*harness.Report, error) {
 		horizon := 300 * n
 
 		run := func(mkUser func() (comm.Strategy, error)) (int, []float64, error) {
+			trials := make([]system.Trial, n)
+			for srvIdx := 0; srvIdx < n; srvIdx++ {
+				trials[srvIdx] = system.Trial{
+					User: mkUser,
+					Server: func() comm.Strategy {
+						return server.Dialected(&control.Server{}, fam.Dialect(srvIdx))
+					},
+					World:  func() goal.World { return g.NewWorld(goal.Env{Choice: srvIdx}) },
+					Config: system.Config{MaxRounds: horizon, Seed: cfg.seed()},
+				}
+			}
+			results, err := system.RunBatch(trials, cfg.batch())
+			if err != nil {
+				return 0, nil, err
+			}
 			succ := 0
 			var rounds []float64
-			for srvIdx := 0; srvIdx < n; srvIdx++ {
-				usr, err := mkUser()
-				if err != nil {
-					return 0, nil, err
-				}
-				srv := server.Dialected(&control.Server{}, fam.Dialect(srvIdx))
-				res, err := system.Run(usr, srv, g.NewWorld(goal.Env{Choice: srvIdx}),
-					system.Config{MaxRounds: horizon, Seed: cfg.seed()})
-				if err != nil {
-					return 0, nil, err
-				}
+			for _, res := range results {
 				if goal.CompactAchieved(g, res.History, 10) {
 					succ++
 					rounds = append(rounds, float64(goal.LastUnacceptable(g, res.History)))

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/harness"
+	"repro/internal/system"
 )
 
 // Config scales and seeds an experiment run.
@@ -20,6 +21,10 @@ type Config struct {
 	Quick bool
 	// Seed drives all randomness; 0 means 1.
 	Seed uint64
+	// Parallel bounds the engine worker pool every runner executes its
+	// trials on (via system.RunBatch); values < 1 mean GOMAXPROCS.
+	// Reports are byte-identical at every setting.
+	Parallel int
 }
 
 func (c Config) seed() uint64 {
@@ -27,6 +32,11 @@ func (c Config) seed() uint64 {
 		return 1
 	}
 	return c.Seed
+}
+
+// batch is the BatchConfig shared by all runners.
+func (c Config) batch() system.BatchConfig {
+	return system.BatchConfig{Parallelism: c.Parallel}
 }
 
 // Runner is a named, self-contained experiment.

@@ -74,50 +74,64 @@ func RunF1(cfg Config) (*harness.Report, error) {
 		if horizon < 2000 {
 			horizon = 2000
 		}
+		sampleEvery := horizon / 80
+		if sampleEvery < 1 {
+			sampleEvery = 1
+		}
 
-		for _, l := range learners {
-			usr, err := l.mk(m)
-			if err != nil {
-				return nil, fmt.Errorf("F1: %s: %w", l.name, err)
-			}
+		// One batch per class size: the three learners race the same
+		// environment concurrently, each sampling its own curve.
+		type track struct {
+			w      *learning.World
+			xs, ys []float64
+		}
+		tracks := make([]*track, len(learners))
+		trials := make([]system.Trial, len(learners))
+		for li, l := range learners {
+			mk := l.mk
+			tr := &track{}
+			tracks[li] = tr
 			w, ok := g.NewWorld(goal.Env{Choice: concept}).(*learning.World)
 			if !ok {
 				return nil, fmt.Errorf("F1: unexpected world type")
 			}
-
-			var xs, ys []float64
-			sampleEvery := horizon / 80
-			if sampleEvery < 1 {
-				sampleEvery = 1
-			}
-			res, err := system.Run(usr, server.Obstinate(), w, system.Config{
-				MaxRounds: horizon,
-				Seed:      cfg.seed(),
-				OnRound: func(round int, _ comm.RoundView, state comm.WorldState) {
-					if m != curveM || round%sampleEvery != 0 {
-						return
-					}
-					st, ok := learning.ParseState(state)
-					if !ok {
-						return
-					}
-					xs = append(xs, float64(round))
-					ys = append(ys, float64(st.Mistakes))
+			tr.w = w
+			trials[li] = system.Trial{
+				User:   func() (comm.Strategy, error) { return mk(m) },
+				Server: func() comm.Strategy { return server.Obstinate() },
+				World:  func() goal.World { return w },
+				Config: system.Config{
+					MaxRounds: horizon,
+					Seed:      cfg.seed(),
+					OnRound: func(round int, _ comm.RoundView, state comm.WorldState) {
+						if m != curveM || round%sampleEvery != 0 {
+							return
+						}
+						st, ok := learning.ParseState(state)
+						if !ok {
+							return
+						}
+						tr.xs = append(tr.xs, float64(round))
+						tr.ys = append(tr.ys, float64(st.Mistakes))
+					},
 				},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("F1: %s M=%d: %w", l.name, m, err)
 			}
+		}
+		results, err := system.RunBatch(trials, cfg.batch())
+		if err != nil {
+			return nil, fmt.Errorf("F1: M=%d: %w", m, err)
+		}
 
-			achieved := goal.CompactAchieved(g, res.History, 20)
+		for li, l := range learners {
+			achieved := goal.CompactAchieved(g, results[li].History, 20)
 			achievedStr := "yes"
 			if !achieved {
 				achievedStr = "no"
 			}
-			tbl.AddRow(harness.I(m), l.name, harness.I(w.Mistakes()), l.bound(m), achievedStr)
+			tbl.AddRow(harness.I(m), l.name, harness.I(tracks[li].w.Mistakes()), l.bound(m), achievedStr)
 
 			if m == curveM {
-				series.Lines = append(series.Lines, harness.Line{Name: l.name, X: xs, Y: ys})
+				series.Lines = append(series.Lines, harness.Line{Name: l.name, X: tracks[li].xs, Y: tracks[li].ys})
 			}
 		}
 	}

@@ -31,26 +31,34 @@ func RunF2(cfg Config) (*harness.Report, error) {
 		return nil, fmt.Errorf("F2: %w", err)
 	}
 	g := &printing.Goal{}
-	u, err := universal.NewCompactUser(printing.Enum(fam), printing.Sense(0))
-	if err != nil {
-		return nil, fmt.Errorf("F2: %w", err)
-	}
 
+	// A single trace run, still dispatched through the batch engine so
+	// every runner shares one execution path.
+	var u *universal.CompactUser
 	var xs, ys []float64
-	res, err := system.Run(u,
-		server.Dialected(&printing.Server{}, fam.Dialect(serverIdx)),
-		g.NewWorld(goal.Env{}),
-		system.Config{
+	results, err := system.RunBatch([]system.Trial{{
+		User: func() (comm.Strategy, error) {
+			var err error
+			u, err = universal.NewCompactUser(printing.Enum(fam), printing.Sense(0))
+			return u, err
+		},
+		Server: func() comm.Strategy {
+			return server.Dialected(&printing.Server{}, fam.Dialect(serverIdx))
+		},
+		World: func() goal.World { return g.NewWorld(goal.Env{}) },
+		Config: system.Config{
 			MaxRounds: 50 * famSize,
 			Seed:      cfg.seed(),
 			OnRound: func(round int, _ comm.RoundView, _ comm.WorldState) {
 				xs = append(xs, float64(round))
 				ys = append(ys, float64(u.Index()))
 			},
-		})
+		},
+	}}, cfg.batch())
 	if err != nil {
 		return nil, fmt.Errorf("F2: %w", err)
 	}
+	res := results[0]
 	if !goal.CompactAchieved(g, res.History, 10) {
 		return nil, fmt.Errorf("F2: universal user failed to converge")
 	}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func renderWith(t *testing.T, id string, parallel int) string {
+	t.Helper()
+	r, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(Config{Quick: true, Seed: 1, Parallel: parallel})
+	if err != nil {
+		t.Fatalf("%s (parallel %d): %v", id, parallel, err)
+	}
+	var b strings.Builder
+	if err := rep.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestParallelMatchesSerial is the batch engine's end-to-end determinism
+// guarantee: running an experiment across 8 workers must produce a report
+// byte-identical to strictly serial execution. T1 (compact universality)
+// and T3 (finite Levin search) are the two named acceptance cases; the
+// rest of the suite rides along since quick mode is cheap.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, r := range All() {
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			serial := renderWith(t, r.ID, 1)
+			parallel := renderWith(t, r.ID, 8)
+			if serial != parallel {
+				t.Fatalf("%s: parallel report differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+					r.ID, serial, parallel)
+			}
+		})
+	}
+}
+
+// TestParallelDefaultIsGOMAXPROCS just pins that Parallel: 0 runs (the
+// GOMAXPROCS default) and still matches serial output.
+func TestParallelDefaultIsGOMAXPROCS(t *testing.T) {
+	serial := renderWith(t, "T1", 1)
+	def := renderWith(t, "T1", 0)
+	if serial != def {
+		t.Fatal("T1: default-parallelism report differs from serial")
+	}
+}

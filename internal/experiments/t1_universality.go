@@ -59,21 +59,28 @@ func RunT1(cfg Config) (*harness.Report, error) {
 		}
 
 		for _, kind := range kinds {
+			mk := kind.mk
+			trials := make([]system.Trial, n)
+			for srvIdx := 0; srvIdx < n; srvIdx++ {
+				trials[srvIdx] = system.Trial{
+					User: func() (comm.Strategy, error) { return mk(srvIdx) },
+					Server: func() comm.Strategy {
+						return server.Dialected(&printing.Server{}, fam.Dialect(srvIdx))
+					},
+					World: func() goal.World {
+						return g.NewWorld(goal.Env{Choice: srvIdx % g.EnvChoices()})
+					},
+					Config: system.Config{MaxRounds: horizon, Seed: cfg.seed()},
+				}
+			}
+			results, err := system.RunBatch(trials, cfg.batch())
+			if err != nil {
+				return nil, fmt.Errorf("T1: %s (N=%d): %w", kind.name, n, err)
+			}
+
 			succ := 0
 			var rounds []float64
-			for srvIdx := 0; srvIdx < n; srvIdx++ {
-				usr, err := kind.mk(srvIdx)
-				if err != nil {
-					return nil, fmt.Errorf("T1: %s: %w", kind.name, err)
-				}
-				srv := server.Dialected(&printing.Server{}, fam.Dialect(srvIdx))
-				env := goal.Env{Choice: srvIdx % g.EnvChoices()}
-				res, err := system.Run(usr, srv, g.NewWorld(env), system.Config{
-					MaxRounds: horizon, Seed: cfg.seed(),
-				})
-				if err != nil {
-					return nil, fmt.Errorf("T1: run (N=%d, server %d): %w", n, srvIdx, err)
-				}
+			for _, res := range results {
 				if goal.CompactAchieved(g, res.History, 10) {
 					succ++
 					rounds = append(rounds, float64(goal.LastUnacceptable(g, res.History)))

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/comm"
 	"repro/internal/enumerate"
 	"repro/internal/goal"
 	"repro/internal/goals/treasure"
@@ -34,30 +35,31 @@ func RunT2(cfg Config) (*harness.Report, error) {
 	}
 
 	g := &treasure.Goal{}
-	run := func(enum enumerate.Enumerator, secret, horizon int) (int, error) {
-		u, err := universal.NewCompactUser(enum, treasure.Sense(0))
-		if err != nil {
-			return 0, err
-		}
-		res, err := system.Run(u, &treasure.Server{Secret: secret}, g.NewWorld(goal.Env{}),
-			system.Config{MaxRounds: horizon, Seed: cfg.seed()})
-		if err != nil {
-			return 0, err
-		}
-		if !goal.CompactAchieved(g, res.History, 5) {
-			return 0, fmt.Errorf("T2: secret %d not found within %d rounds", secret, horizon)
-		}
-		return goal.LastUnacceptable(g, res.History), nil
-	}
 
-	oracleRounds := func(secret, horizon int) (int, error) {
-		res, err := system.Run(&treasure.Candidate{Guess: secret},
-			&treasure.Server{Secret: secret}, g.NewWorld(goal.Env{}),
-			system.Config{MaxRounds: horizon, Seed: cfg.seed()})
-		if err != nil {
-			return 0, err
+	// runSweep executes one trial per secret in [0, n) and returns the
+	// convergence rounds, requiring every secret to be found.
+	runSweep := func(name string, n, horizon int, mkUser func(secret int) (comm.Strategy, error)) ([]float64, error) {
+		trials := make([]system.Trial, n)
+		for secret := 0; secret < n; secret++ {
+			trials[secret] = system.Trial{
+				User:   func() (comm.Strategy, error) { return mkUser(secret) },
+				Server: func() comm.Strategy { return &treasure.Server{Secret: secret} },
+				World:  func() goal.World { return g.NewWorld(goal.Env{}) },
+				Config: system.Config{MaxRounds: horizon, Seed: cfg.seed()},
+			}
 		}
-		return goal.LastUnacceptable(g, res.History), nil
+		results, err := system.RunBatch(trials, cfg.batch())
+		if err != nil {
+			return nil, fmt.Errorf("T2: %s: %w", name, err)
+		}
+		all := make([]float64, n)
+		for secret, res := range results {
+			if !goal.CompactAchieved(g, res.History, 5) {
+				return nil, fmt.Errorf("T2: secret %d not found within %d rounds", secret, horizon)
+			}
+			all[secret] = float64(goal.LastUnacceptable(g, res.History))
+		}
+		return all, nil
 	}
 
 	for _, n := range sizes {
@@ -77,38 +79,26 @@ func RunT2(cfg Config) (*harness.Report, error) {
 		}
 
 		for _, v := range variants {
-			var all []float64
-			worst := 0.0
-			for secret := 0; secret < n; secret++ {
+			all, err := runSweep(v.name, n, horizon, func(int) (comm.Strategy, error) {
 				enum, err := v.mk()
-				if err != nil {
-					return nil, fmt.Errorf("T2: %s: %w", v.name, err)
-				}
-				r, err := run(enum, secret, horizon)
 				if err != nil {
 					return nil, err
 				}
-				all = append(all, float64(r))
-				if float64(r) > worst {
-					worst = float64(r)
-				}
-			}
-			tbl.AddRow(harness.I(n), v.name, harness.F(worst), harness.F(harness.Mean(all)))
-		}
-
-		var oracleAll []float64
-		oracleWorst := 0.0
-		for secret := 0; secret < n; secret++ {
-			r, err := oracleRounds(secret, horizon)
+				return universal.NewCompactUser(enum, treasure.Sense(0))
+			})
 			if err != nil {
 				return nil, err
 			}
-			oracleAll = append(oracleAll, float64(r))
-			if float64(r) > oracleWorst {
-				oracleWorst = float64(r)
-			}
+			tbl.AddRow(harness.I(n), v.name, harness.F(harness.Max(all)), harness.F(harness.Mean(all)))
 		}
-		tbl.AddRow(harness.I(n), "oracle", harness.F(oracleWorst), harness.F(harness.Mean(oracleAll)))
+
+		oracleAll, err := runSweep("oracle", n, horizon, func(secret int) (comm.Strategy, error) {
+			return &treasure.Candidate{Guess: secret}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(harness.I(n), "oracle", harness.F(harness.Max(oracleAll)), harness.F(harness.Mean(oracleAll)))
 	}
 
 	return &harness.Report{Tables: []*harness.Table{tbl}}, nil

@@ -43,9 +43,31 @@ func RunT3(cfg Config) (*harness.Report, error) {
 		},
 	}
 
-	for _, idx := range indices {
-		idx := idx
-		fr := &universal.FiniteRunner{Enum: delegation.Enum(fam), Sense: delegation.Sense()}
+	// The oracle baselines are independent single runs — one batch.
+	oracleTrials := make([]system.Trial, len(indices))
+	for row, idx := range indices {
+		oracleTrials[row] = system.Trial{
+			User: func() (comm.Strategy, error) {
+				return &delegation.Candidate{D: fam.Dialect(idx)}, nil
+			},
+			Server: func() comm.Strategy {
+				return server.Dialected(&delegation.Server{}, fam.Dialect(idx))
+			},
+			World:  func() goal.World { return g.NewWorld(goal.Env{Choice: 1}) },
+			Config: system.Config{MaxRounds: 100, Seed: cfg.seed()},
+		}
+	}
+	oracles, err := system.RunBatch(oracleTrials, cfg.batch())
+	if err != nil {
+		return nil, fmt.Errorf("T3: oracle: %w", err)
+	}
+
+	for row, idx := range indices {
+		fr := &universal.FiniteRunner{
+			Enum:     delegation.Enum(fam),
+			Sense:    delegation.Sense(),
+			Parallel: cfg.Parallel,
+		}
 		res, err := fr.Run(
 			func() comm.Strategy { return server.Dialected(&delegation.Server{}, fam.Dialect(idx)) },
 			func() goal.World { return g.NewWorld(goal.Env{Choice: 1}) },
@@ -61,16 +83,7 @@ func RunT3(cfg Config) (*harness.Report, error) {
 			return nil, fmt.Errorf("T3: index %d: referee rejected final history", idx)
 		}
 
-		oracle, err := system.Run(
-			&delegation.Candidate{D: fam.Dialect(idx)},
-			server.Dialected(&delegation.Server{}, fam.Dialect(idx)),
-			g.NewWorld(goal.Env{Choice: 1}),
-			system.Config{MaxRounds: 100, Seed: cfg.seed()},
-		)
-		if err != nil {
-			return nil, fmt.Errorf("T3: oracle %d: %w", idx, err)
-		}
-
+		oracle := oracles[row]
 		overhead := float64(res.TotalRounds) / float64(oracle.Rounds)
 		tbl.AddRow(
 			harness.I(idx),

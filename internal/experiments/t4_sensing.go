@@ -55,54 +55,79 @@ func RunT4(cfg Config) (*harness.Report, error) {
 	}
 
 	for _, v := range variants {
-		succ, settled := 0, 0
-		var switches []float64
+		mkSense := v.mk
+		checkpoint := horizon * 3 / 4
 
+		// One trial per helpful server plus a false-positive probe
+		// against the lying printer, all in one batch. Each trial's
+		// universal user and checkpoint snapshot live in tracks[i];
+		// the User factory runs once, before the engine starts, so the
+		// OnRound closure always sees its own trial's user.
+		type track struct {
+			u                    *universal.CompactUser
+			switchesAtCheckpoint int
+		}
+		tracks := make([]track, famSize+1)
+		trials := make([]system.Trial, famSize+1)
 		for srvIdx := 0; srvIdx < famSize; srvIdx++ {
-			u, err := universal.NewCompactUser(printing.Enum(fam), v.mk())
-			if err != nil {
-				return nil, fmt.Errorf("T4: %s: %w", v.name, err)
-			}
-			srv := server.Dialected(&printing.Server{}, fam.Dialect(srvIdx))
-			switchesAtCheckpoint := -1
-			checkpoint := horizon * 3 / 4
-			res, err := system.Run(u, srv, g.NewWorld(goal.Env{Choice: srvIdx}), system.Config{
-				MaxRounds: horizon, Seed: cfg.seed(),
-				OnRound: func(round int, _ comm.RoundView, _ comm.WorldState) {
-					if round == checkpoint {
-						switchesAtCheckpoint = u.Switches()
-					}
+			tr := &tracks[srvIdx]
+			tr.switchesAtCheckpoint = -1
+			trials[srvIdx] = system.Trial{
+				User: func() (comm.Strategy, error) {
+					u, err := universal.NewCompactUser(printing.Enum(fam), mkSense())
+					tr.u = u
+					return u, err
 				},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("T4: %s server %d: %w", v.name, srvIdx, err)
+				Server: func() comm.Strategy {
+					return server.Dialected(&printing.Server{}, fam.Dialect(srvIdx))
+				},
+				World: func() goal.World { return g.NewWorld(goal.Env{Choice: srvIdx}) },
+				Config: system.Config{
+					MaxRounds: horizon, Seed: cfg.seed(),
+					OnRound: func(round int, _ comm.RoundView, _ comm.WorldState) {
+						if round == checkpoint {
+							tr.switchesAtCheckpoint = tr.u.Switches()
+						}
+					},
+				},
 			}
-			if goal.CompactAchieved(g, res.History, 10) {
-				succ++
-			}
-			if switchesAtCheckpoint >= 0 && u.Switches() == switchesAtCheckpoint {
-				settled++
-			}
-			switches = append(switches, float64(u.Switches()))
+		}
+		liarSlot := famSize
+		trials[liarSlot] = system.Trial{
+			User: func() (comm.Strategy, error) {
+				u, err := universal.NewCompactUser(printing.Enum(fam), mkSense())
+				tracks[liarSlot].u = u
+				return u, err
+			},
+			Server: func() comm.Strategy { return &printing.LyingServer{} },
+			World:  func() goal.World { return g.NewWorld(goal.Env{}) },
+			Config: system.Config{MaxRounds: horizon, Seed: cfg.seed()},
 		}
 
-		// False-positive probe: pair with the lying printer and ask
-		// whether the sensing's final indication is positive despite
-		// the goal being unachieved.
-		falsePos := 0
-		u, err := universal.NewCompactUser(printing.Enum(fam), v.mk())
+		results, err := system.RunBatch(trials, cfg.batch())
 		if err != nil {
 			return nil, fmt.Errorf("T4: %s: %w", v.name, err)
 		}
-		var liar comm.Strategy = &printing.LyingServer{}
-		res, err := system.Run(u, liar, g.NewWorld(goal.Env{}), system.Config{
-			MaxRounds: horizon, Seed: cfg.seed(),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("T4: %s liar: %w", v.name, err)
+
+		succ, settled := 0, 0
+		var switches []float64
+		for srvIdx := 0; srvIdx < famSize; srvIdx++ {
+			if goal.CompactAchieved(g, results[srvIdx].History, 10) {
+				succ++
+			}
+			tr := tracks[srvIdx]
+			if tr.switchesAtCheckpoint >= 0 && tr.u.Switches() == tr.switchesAtCheckpoint {
+				settled++
+			}
+			switches = append(switches, float64(tr.u.Switches()))
 		}
+
+		// False-positive probe: is the sensing's final indication
+		// positive against the liar despite the goal being unachieved?
+		falsePos := 0
+		res := results[liarSlot]
 		achieved := goal.CompactAchieved(g, res.History, 10)
-		if sensing.Replay(v.mk(), res.View) && !achieved {
+		if sensing.Replay(mkSense(), res.View) && !achieved {
 			falsePos = 1
 		}
 

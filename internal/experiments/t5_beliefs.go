@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/beliefs"
+	"repro/internal/comm"
 	"repro/internal/enumerate"
 	"repro/internal/goal"
 	"repro/internal/goals/treasure"
@@ -76,25 +77,39 @@ func RunT5(cfg Config) (*harness.Report, error) {
 		}
 
 		for _, v := range variants {
+			enum := v.enum
 			r := xrand.New(cfg.seed() + uint64(s*1000))
-			var tried, rounds []float64
+			secrets := make([]int, trials)
+			users := make([]*universal.CompactUser, trials)
+			batch := make([]system.Trial, trials)
 			for trial := 0; trial < trials; trial++ {
-				secret := prior.Sample(r)
-				u, err := universal.NewCompactUser(v.enum, treasure.Sense(0))
-				if err != nil {
-					return nil, fmt.Errorf("T5: %w", err)
-				}
-				res, err := system.Run(u, &treasure.Server{Secret: secret},
-					g.NewWorld(goal.Env{}), system.Config{
+				secrets[trial] = prior.Sample(r)
+				batch[trial] = system.Trial{
+					User: func() (comm.Strategy, error) {
+						u, err := universal.NewCompactUser(enum, treasure.Sense(0))
+						users[trial] = u
+						return u, err
+					},
+					Server: func() comm.Strategy {
+						return &treasure.Server{Secret: secrets[trial]}
+					},
+					World: func() goal.World { return g.NewWorld(goal.Env{}) },
+					Config: system.Config{
 						MaxRounds: horizon, Seed: cfg.seed() + uint64(trial),
-					})
-				if err != nil {
-					return nil, fmt.Errorf("T5: trial %d: %w", trial, err)
+					},
 				}
+			}
+			results, err := system.RunBatch(batch, cfg.batch())
+			if err != nil {
+				return nil, fmt.Errorf("T5: %w", err)
+			}
+
+			var tried, rounds []float64
+			for trial, res := range results {
 				if !goal.CompactAchieved(g, res.History, 5) {
-					return nil, fmt.Errorf("T5: trial %d (secret %d) failed", trial, secret)
+					return nil, fmt.Errorf("T5: trial %d (secret %d) failed", trial, secrets[trial])
 				}
-				tried = append(tried, float64(u.Index()%n+1))
+				tried = append(tried, float64(users[trial].Index()%n+1))
 				rounds = append(rounds, float64(goal.LastUnacceptable(g, res.History)))
 			}
 

@@ -60,13 +60,13 @@ func RunT6(cfg Config) (*harness.Report, error) {
 		}
 
 		native, err := multiparty.LearnValues(members, fam, multiparty.Config{
-			Seed: cfg.seed(), Oracle: true,
+			Seed: cfg.seed(), Oracle: true, Parallel: cfg.Parallel,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("T6: native k=%d: %w", k, err)
 		}
 		reduction, err := multiparty.LearnValues(members, fam, multiparty.Config{
-			Seed: cfg.seed(),
+			Seed: cfg.seed(), Parallel: cfg.Parallel,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("T6: reduction k=%d: %w", k, err)
@@ -90,7 +90,7 @@ func RunT6(cfg Config) (*harness.Report, error) {
 			correct,
 		)
 
-		gossip, err := multiparty.GossipAll(members, fam, multiparty.Config{Seed: cfg.seed()})
+		gossip, err := multiparty.GossipAll(members, fam, multiparty.Config{Seed: cfg.seed(), Parallel: cfg.Parallel})
 		if err != nil {
 			return nil, fmt.Errorf("T6: gossip k=%d: %w", k, err)
 		}

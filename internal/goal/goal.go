@@ -118,7 +118,8 @@ type Forgiving interface {
 // acceptable, i.e. unacceptable prefixes stopped occurring at least window
 // rounds before the end. This is the executable stand-in for "finitely many
 // unacceptable prefixes" (see DESIGN.md §4); window must be positive and at
-// most h.Len().
+// most h.Len(). A windowed history (h.Dropped > 0) must retain at least
+// window states, or Prefix panics.
 func CompactAchieved(g CompactGoal, h comm.History, window int) bool {
 	if window <= 0 || window > h.Len() {
 		return false
@@ -133,7 +134,8 @@ func CompactAchieved(g CompactGoal, h comm.History, window int) bool {
 
 // UnacceptableCount returns the number of unacceptable prefixes of h under
 // the compact goal's referee — the quantity whose finiteness defines
-// achievement, and a natural progress metric for experiments.
+// achievement, and a natural progress metric for experiments. It examines
+// every prefix, so h must be fully recorded (h.Dropped == 0).
 func UnacceptableCount(g CompactGoal, h comm.History) int {
 	count := 0
 	for n := 1; n <= h.Len(); n++ {
@@ -146,7 +148,8 @@ func UnacceptableCount(g CompactGoal, h comm.History) int {
 
 // LastUnacceptable returns the largest prefix length at which the referee
 // rejected, or 0 if every prefix of h is acceptable. For an achieved compact
-// goal this is the convergence point.
+// goal this is the convergence point. It may examine every prefix, so h
+// must be fully recorded (h.Dropped == 0).
 func LastUnacceptable(g CompactGoal, h comm.History) int {
 	for n := h.Len(); n >= 1; n-- {
 		if !g.Acceptable(h.Prefix(n)) {

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/comm"
 	"repro/internal/enumerate"
@@ -11,6 +12,13 @@ import (
 )
 
 // CertConfig parameterizes empirical certification runs.
+//
+// Certification executes through system.RunEach with windowed retention:
+// only the trailing convergence window of world states is materialized and
+// sensing indications are computed online, round by round, instead of by
+// replaying a fully recorded view. Verdicts are identical to full
+// recording for every stock goal (their referees judge a history by its
+// recent states), at a fraction of the memory traffic.
 type CertConfig struct {
 	// MaxRounds is the execution horizon per run; 0 means the system
 	// default.
@@ -22,6 +30,9 @@ type CertConfig struct {
 	// Envs is how many environment choices to sweep; 0 means the goal's
 	// EnvChoices.
 	Envs int
+	// Parallel bounds the certification worker pool; values < 1 mean
+	// GOMAXPROCS. Results are identical at every setting.
+	Parallel int
 }
 
 func (c CertConfig) window() int {
@@ -36,6 +47,33 @@ func (c CertConfig) envs(g goal.Goal) int {
 		return c.Envs
 	}
 	return g.EnvChoices()
+}
+
+func (c CertConfig) batch() system.BatchConfig {
+	return system.BatchConfig{Parallelism: c.Parallel}
+}
+
+// chunk is how many candidates a chunked search runs per batch: enough to
+// feed the worker pool while keeping the early-exit waste bounded.
+func (c CertConfig) chunk() int {
+	n := c.Parallel
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// probeCap bounds the candidate prefix examined for unbounded classes.
+const probeCap = 64
+
+func boundedSize(e enumerate.Enumerator) int {
+	if size := e.Size(); size != enumerate.Unbounded {
+		return size
+	}
+	return probeCap
 }
 
 // Violation records one certification failure.
@@ -56,48 +94,164 @@ func (v Violation) String() string {
 		v.Kind, v.Server, v.Env, v.Candidate, v.Detail)
 }
 
-// eventuallyPositive reports whether the indication sequence is positive on
-// the final window rounds (the empirical reading of "only finitely many
-// negative indications").
-func eventuallyPositive(inds []bool, window int) bool {
-	if len(inds) < window {
-		return false
+// senseProbe feeds a sensing function online (via Config.OnRound) and
+// tracks what the certifiers need: the total round count, the trailing
+// run of positive indications, and the final indication. This replaces
+// full-view recording plus replay.
+type senseProbe struct {
+	sense  sensing.Sense
+	rounds int
+	streak int
+	last   bool
+}
+
+func newSenseProbe(s sensing.Sense) *senseProbe {
+	s.Reset()
+	return &senseProbe{sense: s}
+}
+
+func (p *senseProbe) onRound(_ int, rv comm.RoundView, _ comm.WorldState) {
+	p.rounds++
+	p.last = p.sense.Observe(rv)
+	if p.last {
+		p.streak++
+	} else {
+		p.streak = 0
 	}
-	for _, v := range inds[len(inds)-window:] {
-		if !v {
-			return false
+}
+
+// eventuallyPositive reports whether the indication sequence was positive
+// on the final window rounds (the empirical reading of "only finitely many
+// negative indications").
+func (p *senseProbe) eventuallyPositive(window int) bool {
+	return p.rounds >= window && p.streak >= window
+}
+
+// certTrial builds the standard certification trial for one
+// (candidate, server, env) triple. probe may be nil when the run's
+// indications are not needed.
+func certTrial(
+	g goal.Goal,
+	users enumerate.Enumerator,
+	candidate int,
+	mkServer func() comm.Strategy,
+	env int,
+	probe *senseProbe,
+	cfg CertConfig,
+) system.Trial {
+	sysCfg := system.Config{
+		MaxRounds: cfg.MaxRounds,
+		Seed:      cfg.Seed,
+		Record:    system.RecordWindow(cfg.window()),
+	}
+	if probe != nil {
+		sysCfg.OnRound = probe.onRound
+	}
+	return system.Trial{
+		User:   func() (comm.Strategy, error) { return users.Strategy(candidate), nil },
+		Server: mkServer,
+		World:  func() goal.World { return g.NewWorld(goal.Env{Choice: env, Seed: cfg.Seed}) },
+		Config: sysCfg,
+	}
+}
+
+// chunkedWitness scans the candidate class in parallel chunks and returns
+// the first candidate index for which ok holds on every swept environment
+// — the witness a serial scan would find — or (false, -1). Failed trials
+// count as a negative verdict for their candidate.
+func chunkedWitness(
+	g goal.Goal,
+	users enumerate.Enumerator,
+	mkServer func() comm.Strategy,
+	cfg CertConfig,
+	ok func(res *system.Result) bool,
+) (bool, int) {
+	size := boundedSize(users)
+	envs := cfg.envs(g)
+	for base := 0; base < size; base += cfg.chunk() {
+		hi := min(base+cfg.chunk(), size)
+		trials := make([]system.Trial, 0, (hi-base)*envs)
+		for i := base; i < hi; i++ {
+			for env := 0; env < envs; env++ {
+				trials = append(trials, certTrial(g, users, i, mkServer, env, nil, cfg))
+			}
+		}
+		results, errs := system.RunEach(trials, cfg.batch())
+		witness := -1
+		for i := base; i < hi && witness < 0; i++ {
+			good := true
+			for env := 0; env < envs; env++ {
+				t := (i-base)*envs + env
+				if errs[t] != nil || !ok(results[t]) {
+					good = false
+					break
+				}
+			}
+			if good {
+				witness = i
+			}
+		}
+		for _, res := range results {
+			system.ReleaseResult(res)
+		}
+		if witness >= 0 {
+			return true, witness
 		}
 	}
-	return true
+	return false, -1
+}
+
+// chunkedFound reports whether some candidate earns a positive verdict
+// against one (server, env) pairing, scanning the class in parallel chunks
+// with early exit between chunks. Failed trials count as negative.
+func chunkedFound(
+	g goal.Goal,
+	users enumerate.Enumerator,
+	mkServer func() comm.Strategy,
+	env int,
+	mkSense func() sensing.Sense,
+	cfg CertConfig,
+	ok func(res *system.Result, probe *senseProbe) bool,
+) bool {
+	size := boundedSize(users)
+	for base := 0; base < size; base += cfg.chunk() {
+		hi := min(base+cfg.chunk(), size)
+		trials := make([]system.Trial, 0, hi-base)
+		probes := make([]*senseProbe, 0, hi-base)
+		for i := base; i < hi; i++ {
+			probe := newSenseProbe(mkSense())
+			probes = append(probes, probe)
+			trials = append(trials, certTrial(g, users, i, mkServer, env, probe, cfg))
+		}
+		results, errs := system.RunEach(trials, cfg.batch())
+		found := false
+		for t := range trials {
+			if errs[t] == nil && !found && ok(results[t], probes[t]) {
+				found = true
+			}
+			system.ReleaseResult(results[t])
+		}
+		if found {
+			return true
+		}
+	}
+	return false
 }
 
 // HelpfulCompact reports whether the server is helpful for the compact goal
 // with respect to the candidate class: some enumerated candidate achieves
 // the goal when paired with it, from every swept environment. It returns
-// the first witnessing candidate index (or -1).
+// the first witnessing candidate index (or -1). Candidates are probed in
+// parallel chunks; the returned witness is the same as a serial scan's.
 func HelpfulCompact(
 	g goal.CompactGoal,
 	mkServer func() comm.Strategy,
 	enum enumerate.Enumerator,
 	cfg CertConfig,
 ) (bool, int) {
-	size := enum.Size()
-	if size == enumerate.Unbounded {
-		size = 64 // probe a prefix of an unbounded class
-	}
-candidates:
-	for i := 0; i < size; i++ {
-		for env := 0; env < cfg.envs(g); env++ {
-			res, err := system.Run(enum.Strategy(i), mkServer(),
-				g.NewWorld(goal.Env{Choice: env, Seed: cfg.Seed}),
-				system.Config{MaxRounds: cfg.MaxRounds, Seed: cfg.Seed})
-			if err != nil || !goal.CompactAchieved(g, res.History, cfg.window()) {
-				continue candidates
-			}
-		}
-		return true, i
-	}
-	return false, -1
+	return chunkedWitness(g, enum, mkServer, cfg, func(res *system.Result) bool {
+		return goal.CompactAchieved(g, res.History, cfg.window())
+	})
 }
 
 // CertifySafetyCompact checks the safety of a sensing function for a
@@ -113,32 +267,37 @@ func CertifySafetyCompact(
 	cfg CertConfig,
 ) []Violation {
 	var violations []Violation
-	size := users.Size()
-	if size == enumerate.Unbounded {
-		size = 64
-	}
+	size := boundedSize(users)
+	envs := cfg.envs(g)
 	for si, mkServer := range servers {
+		// One batch per server: candidates × envs, judged in order.
+		trials := make([]system.Trial, 0, size*envs)
+		probes := make([]*senseProbe, 0, size*envs)
 		for i := 0; i < size; i++ {
-			for env := 0; env < cfg.envs(g); env++ {
-				res, err := system.Run(users.Strategy(i), mkServer(),
-					g.NewWorld(goal.Env{Choice: env, Seed: cfg.Seed}),
-					system.Config{MaxRounds: cfg.MaxRounds, Seed: cfg.Seed})
-				if err != nil {
-					violations = append(violations, Violation{
-						Kind: "safety", Server: si, Env: env, Candidate: i,
-						Detail: fmt.Sprintf("execution error: %v", err),
-					})
-					continue
-				}
-				inds := sensing.Indications(mkSense(), res.View)
-				if eventuallyPositive(inds, cfg.window()) &&
-					!goal.CompactAchieved(g, res.History, cfg.window()) {
-					violations = append(violations, Violation{
-						Kind: "safety", Server: si, Env: env, Candidate: i,
-						Detail: "indications eventually positive but goal not achieved",
-					})
-				}
+			for env := 0; env < envs; env++ {
+				probe := newSenseProbe(mkSense())
+				probes = append(probes, probe)
+				trials = append(trials, certTrial(g, users, i, mkServer, env, probe, cfg))
 			}
+		}
+		results, errs := system.RunEach(trials, cfg.batch())
+		for t := range trials {
+			i, env := t/envs, t%envs
+			if errs[t] != nil {
+				violations = append(violations, Violation{
+					Kind: "safety", Server: si, Env: env, Candidate: i,
+					Detail: fmt.Sprintf("execution error: %v", errs[t]),
+				})
+				continue
+			}
+			if probes[t].eventuallyPositive(cfg.window()) &&
+				!goal.CompactAchieved(g, results[t].History, cfg.window()) {
+				violations = append(violations, Violation{
+					Kind: "safety", Server: si, Env: env, Candidate: i,
+					Detail: "indications eventually positive but goal not achieved",
+				})
+			}
+			system.ReleaseResult(results[t])
 		}
 	}
 	return violations
@@ -156,26 +315,13 @@ func CertifyViabilityCompact(
 	cfg CertConfig,
 ) []Violation {
 	var violations []Violation
-	size := users.Size()
-	if size == enumerate.Unbounded {
-		size = 64
-	}
 	for si, mkServer := range servers {
 		for env := 0; env < cfg.envs(g); env++ {
-			found := false
-			for i := 0; i < size && !found; i++ {
-				res, err := system.Run(users.Strategy(i), mkServer(),
-					g.NewWorld(goal.Env{Choice: env, Seed: cfg.Seed}),
-					system.Config{MaxRounds: cfg.MaxRounds, Seed: cfg.Seed})
-				if err != nil {
-					continue
-				}
-				inds := sensing.Indications(mkSense(), res.View)
-				if eventuallyPositive(inds, cfg.window()) &&
-					goal.CompactAchieved(g, res.History, cfg.window()) {
-					found = true
-				}
-			}
+			found := chunkedFound(g, users, mkServer, env, mkSense, cfg,
+				func(res *system.Result, probe *senseProbe) bool {
+					return probe.eventuallyPositive(cfg.window()) &&
+						goal.CompactAchieved(g, res.History, cfg.window())
+				})
 			if !found {
 				violations = append(violations, Violation{
 					Kind: "viability", Server: si, Env: env, Candidate: -1,

@@ -14,34 +14,21 @@ import (
 // with respect to the candidate class: some enumerated candidate halts with
 // an acceptable history when paired with it, on every swept environment.
 // It returns the first witnessing candidate index (or -1). cfg.MaxRounds
-// bounds each probe execution.
+// bounds each probe execution. Candidates are probed in parallel chunks;
+// the returned witness matches a serial scan's.
 func HelpfulFinite(
 	g goal.FiniteGoal,
 	mkServer func() comm.Strategy,
 	enum enumerate.Enumerator,
 	cfg CertConfig,
 ) (bool, int) {
-	size := enum.Size()
-	if size == enumerate.Unbounded {
-		size = 64
-	}
-candidates:
-	for i := 0; i < size; i++ {
-		for env := 0; env < cfg.envs(g); env++ {
-			res, err := system.Run(enum.Strategy(i), mkServer(),
-				g.NewWorld(goal.Env{Choice: env, Seed: cfg.Seed}),
-				system.Config{MaxRounds: cfg.MaxRounds, Seed: cfg.Seed})
-			if err != nil || !res.Halted || !g.Achieved(res.History) {
-				continue candidates
-			}
-		}
-		return true, i
-	}
-	return false, -1
+	return chunkedWitness(g, enum, mkServer, cfg, func(res *system.Result) bool {
+		return res.Halted && g.Achieved(res.History)
+	})
 }
 
-// CertifySafetyFinite checks finite-goal safety: a positive (replayed)
-// sensing verdict on a halted execution must imply the referee accepts the
+// CertifySafetyFinite checks finite-goal safety: a positive final sensing
+// indication on a halted execution must imply the referee accepts the
 // history. Every (candidate, server, env) triple is probed.
 func CertifySafetyFinite(
 	g goal.FiniteGoal,
@@ -51,40 +38,42 @@ func CertifySafetyFinite(
 	cfg CertConfig,
 ) []Violation {
 	var violations []Violation
-	size := users.Size()
-	if size == enumerate.Unbounded {
-		size = 64
-	}
+	size := boundedSize(users)
+	envs := cfg.envs(g)
 	for si, mkServer := range servers {
+		trials := make([]system.Trial, 0, size*envs)
+		probes := make([]*senseProbe, 0, size*envs)
 		for i := 0; i < size; i++ {
-			for env := 0; env < cfg.envs(g); env++ {
-				res, err := system.Run(users.Strategy(i), mkServer(),
-					g.NewWorld(goal.Env{Choice: env, Seed: cfg.Seed}),
-					system.Config{MaxRounds: cfg.MaxRounds, Seed: cfg.Seed})
-				if err != nil {
-					violations = append(violations, Violation{
-						Kind: "safety", Server: si, Env: env, Candidate: i,
-						Detail: fmt.Sprintf("execution error: %v", err),
-					})
-					continue
-				}
-				if !res.Halted {
-					continue
-				}
-				if sensing.Replay(mkSense(), res.View) && !g.Achieved(res.History) {
-					violations = append(violations, Violation{
-						Kind: "safety", Server: si, Env: env, Candidate: i,
-						Detail: "positive verdict on a rejected halted history",
-					})
-				}
+			for env := 0; env < envs; env++ {
+				probe := newSenseProbe(mkSense())
+				probes = append(probes, probe)
+				trials = append(trials, certTrial(g, users, i, mkServer, env, probe, cfg))
 			}
+		}
+		results, errs := system.RunEach(trials, cfg.batch())
+		for t := range trials {
+			i, env := t/envs, t%envs
+			if errs[t] != nil {
+				violations = append(violations, Violation{
+					Kind: "safety", Server: si, Env: env, Candidate: i,
+					Detail: fmt.Sprintf("execution error: %v", errs[t]),
+				})
+				continue
+			}
+			if results[t].Halted && probes[t].last && !g.Achieved(results[t].History) {
+				violations = append(violations, Violation{
+					Kind: "safety", Server: si, Env: env, Candidate: i,
+					Detail: "positive verdict on a rejected halted history",
+				})
+			}
+			system.ReleaseResult(results[t])
 		}
 	}
 	return violations
 }
 
 // CertifyViabilityFinite checks finite-goal viability: for every server in
-// the list, some candidate halts with a positive (replayed) sensing verdict
+// the list, some candidate halts with a positive final sensing indication
 // on every swept environment.
 func CertifyViabilityFinite(
 	g goal.FiniteGoal,
@@ -94,24 +83,12 @@ func CertifyViabilityFinite(
 	cfg CertConfig,
 ) []Violation {
 	var violations []Violation
-	size := users.Size()
-	if size == enumerate.Unbounded {
-		size = 64
-	}
 	for si, mkServer := range servers {
 		for env := 0; env < cfg.envs(g); env++ {
-			found := false
-			for i := 0; i < size && !found; i++ {
-				res, err := system.Run(users.Strategy(i), mkServer(),
-					g.NewWorld(goal.Env{Choice: env, Seed: cfg.Seed}),
-					system.Config{MaxRounds: cfg.MaxRounds, Seed: cfg.Seed})
-				if err != nil || !res.Halted {
-					continue
-				}
-				if sensing.Replay(mkSense(), res.View) {
-					found = true
-				}
-			}
+			found := chunkedFound(g, users, mkServer, env, mkSense, cfg,
+				func(res *system.Result, probe *senseProbe) bool {
+					return res.Halted && probe.last
+				})
 			if !found {
 				violations = append(violations, Violation{
 					Kind: "viability", Server: si, Env: env, Candidate: -1,

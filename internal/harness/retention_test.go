@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/goal"
+	"repro/internal/goals/printing"
+	"repro/internal/sensing"
+	"repro/internal/system"
+)
+
+// refSafetyCompact is a straightforward full-recording, serial reference
+// implementation of CertifySafetyCompact's verdict for one
+// (candidate, server, env) triple: record everything, replay the sense
+// over the complete view, judge the complete history.
+func refSafetyVerdicts(
+	t *testing.T,
+	g goal.CompactGoal,
+	mkSense func() sensing.Sense,
+	users interface {
+		Strategy(int) comm.Strategy
+		Size() int
+	},
+	mkServer func() comm.Strategy,
+	cfg CertConfig,
+) []bool {
+	t.Helper()
+	verdicts := make([]bool, users.Size())
+	for i := range verdicts {
+		res, err := system.Run(users.Strategy(i), mkServer(),
+			g.NewWorld(goal.Env{Choice: 0, Seed: cfg.Seed}),
+			system.Config{MaxRounds: cfg.MaxRounds, Seed: cfg.Seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inds := sensing.Indications(mkSense(), res.View)
+		eventually := len(inds) >= cfg.window()
+		if eventually {
+			for _, v := range inds[len(inds)-cfg.window():] {
+				if !v {
+					eventually = false
+					break
+				}
+			}
+		}
+		verdicts[i] = eventually && !goal.CompactAchieved(g, res.History, cfg.window())
+	}
+	return verdicts
+}
+
+// TestWindowedRetentionMatchesFullRecording is the acceptance check for
+// the Window(k) retention policy: certification — which runs with windowed
+// retention and online sensing — must produce exactly the per-candidate
+// safety verdicts of a full-recording replay-based reference.
+func TestWindowedRetentionMatchesFullRecording(t *testing.T) {
+	t.Parallel()
+
+	const n = 4
+	g, fam, servers := printingFixture(t, n)
+	cfg := CertConfig{MaxRounds: 120, Seed: 1, Envs: 1}
+	mkSense := func() sensing.Sense { return printing.TrustingSense() }
+	enum := printing.Enum(fam)
+
+	// The lying printer is where the trusting sense produces genuine
+	// safety violations; a helpful printer is where it must not.
+	for name, mkServer := range map[string]func() comm.Strategy{
+		"lying":   func() comm.Strategy { return &printing.LyingServer{} },
+		"helpful": servers[1],
+	} {
+		want := refSafetyVerdicts(t, g, mkSense, enum, mkServer, cfg)
+		got := make([]bool, enum.Size())
+		for _, v := range CertifySafetyCompact(g, mkSense, enum,
+			[]func() comm.Strategy{mkServer}, cfg) {
+			got[v.Candidate] = true
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s server, candidate %d: windowed verdict %v, full-recording verdict %v",
+					name, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Achievement verdicts under windowed retention: a direct engine-level
+	// comparison on the compact printing goal.
+	for srvIdx := 0; srvIdx < n; srvIdx++ {
+		run := func(rec system.RecordPolicy) bool {
+			res, err := system.Run(enum.Strategy(srvIdx), servers[srvIdx](),
+				g.NewWorld(goal.Env{}),
+				system.Config{MaxRounds: 120, Seed: 1, Record: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return goal.CompactAchieved(g, res.History, 10)
+		}
+		if full, windowed := run(system.RecordFull), run(system.RecordWindow(10)); full != windowed {
+			t.Fatalf("server %d: CompactAchieved full=%v windowed=%v", srvIdx, full, windowed)
+		}
+	}
+}

@@ -15,15 +15,15 @@ import (
 // Table is a rendered experiment result, one row per configuration.
 type Table struct {
 	// ID is the experiment identifier (e.g. "T1").
-	ID string
+	ID string `json:"id"`
 	// Title describes what the table shows.
-	Title string
+	Title string `json:"title"`
 	// Columns are the header cells.
-	Columns []string
+	Columns []string `json:"columns"`
 	// Rows are the data cells; each row must have len(Columns) cells.
-	Rows [][]string
+	Rows [][]string `json:"rows"`
 	// Notes are free-form lines rendered under the table.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // AddRow appends a row. It panics if the cell count does not match the
@@ -81,21 +81,22 @@ func (t *Table) Render(w io.Writer) error {
 
 // Line is one named curve of a Series.
 type Line struct {
-	Name string
-	X    []float64
-	Y    []float64
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
 }
 
 // Series is a figure: one or more lines over a shared x-axis meaning.
 type Series struct {
 	// ID is the figure identifier (e.g. "F1").
-	ID string
+	ID string `json:"id"`
 	// Title describes the figure.
-	Title string
+	Title string `json:"title"`
 	// XLabel and YLabel name the axes.
-	XLabel, YLabel string
+	XLabel string `json:"xLabel"`
+	YLabel string `json:"yLabel"`
 	// Lines are the curves.
-	Lines []Line
+	Lines []Line `json:"lines"`
 }
 
 // Render writes the series as a column-aligned point listing, one block per
@@ -116,8 +117,8 @@ func (s *Series) Render(w io.Writer) error {
 
 // Report bundles the artifacts of one experiment.
 type Report struct {
-	Tables []*Table
-	Series []*Series
+	Tables []*Table  `json:"tables,omitempty"`
+	Series []*Series `json:"series,omitempty"`
 }
 
 // Render writes every table and series.

@@ -157,6 +157,10 @@ type Config struct {
 	// Oracle, if true, skips enumeration: the coordinator is told each
 	// member's dialect (the "designed together" native baseline).
 	Oracle bool
+	// Parallel bounds the worker pool the pairwise sessions run on
+	// (via system.RunBatch); values < 1 mean GOMAXPROCS. Results are
+	// identical at every setting.
+	Parallel int
 }
 
 // SessionResult records one coordinator↔member session.
@@ -230,27 +234,33 @@ func LearnValues(members []*Member, fam *dialect.Family, cfg Config) (*Result, e
 		maxRounds = 40 * fam.Size()
 	}
 
+	// Each coordinator↔member session is an independent trial; seeds are
+	// drawn in member order at submission so parallel results are
+	// identical to the former serial loop.
 	root := xrand.New(cfg.Seed)
-	res := &Result{Sessions: make([]SessionResult, 0, len(members))}
+	trials := make([]system.Trial, len(members))
 	for idx, m := range members {
-		var usr comm.Strategy
-		if cfg.Oracle {
-			usr = &askCandidate{d: m.D}
-		} else {
-			u, err := universal.NewCompactUser(queryEnum(fam), reportSense(cfg.Patience))
-			if err != nil {
-				return nil, fmt.Errorf("multiparty: session %d: %w", idx, err)
-			}
-			usr = u
+		trials[idx] = system.Trial{
+			User: func() (comm.Strategy, error) {
+				if cfg.Oracle {
+					return &askCandidate{d: m.D}, nil
+				}
+				return universal.NewCompactUser(queryEnum(fam), reportSense(cfg.Patience))
+			},
+			// Member is stateless (immutable value and dialect), so
+			// sharing it across the engine's Reset is safe.
+			Server: func() comm.Strategy { return m },
+			World:  func() goal.World { return &reportWorld{} },
+			Config: system.Config{MaxRounds: maxRounds, Seed: root.Uint64()},
 		}
-		w := &reportWorld{}
-		exec, err := system.Run(usr, m, w, system.Config{
-			MaxRounds: maxRounds,
-			Seed:      root.Uint64(),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("multiparty: session %d: %w", idx, err)
-		}
+	}
+	execs, err := system.RunBatch(trials, system.BatchConfig{Parallelism: cfg.Parallel})
+	if err != nil {
+		return nil, fmt.Errorf("multiparty: %w", err)
+	}
+
+	res := &Result{Sessions: make([]SessionResult, 0, len(members))}
+	for _, exec := range execs {
 		// The session's effective length is the round at which the
 		// report landed in the world (the compact user itself never
 		// halts); a failed session costs the full bound.
@@ -267,6 +277,7 @@ func LearnValues(members []*Member, fam *dialect.Family, cfg Config) (*Result, e
 		}
 		res.Sessions = append(res.Sessions, sr)
 		res.TotalRounds += sr.Rounds
+		system.ReleaseResult(exec)
 	}
 	return res, nil
 }

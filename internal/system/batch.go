@@ -1,0 +1,170 @@
+package system
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/comm"
+	"repro/internal/goal"
+)
+
+// Trial specifies one independent (user, server, world) execution inside a
+// batch. The factories are invoked exactly once each, on the worker
+// goroutine that runs the trial, so construction cost parallelizes along
+// with execution; they must not share mutable state across trials (a
+// factory may return a shared value only if that value is stateless, like
+// an immutable server).
+type Trial struct {
+	// User constructs the user strategy; a non-nil error fails the
+	// trial.
+	User func() (comm.Strategy, error)
+
+	// Server constructs the server strategy.
+	Server func() comm.Strategy
+
+	// World constructs the world.
+	World func() goal.World
+
+	// Config is the per-trial engine configuration. BatchConfig.Seed,
+	// when set, overrides Config.Seed with a derived per-trial seed.
+	Config Config
+}
+
+// BatchConfig controls batch scheduling.
+type BatchConfig struct {
+	// Parallelism bounds the worker pool; values < 1 mean GOMAXPROCS.
+	// Results are byte-identical at every parallelism level, so 1 is a
+	// debugging aid, not a semantic switch.
+	Parallelism int
+
+	// Seed, when nonzero, gives trial i the seed DeriveSeed(Seed, i),
+	// overriding each Trial.Config.Seed. Leave 0 when trials carry
+	// their own seeds.
+	Seed uint64
+}
+
+func (cfg BatchConfig) workers(n int) int {
+	w := cfg.Parallelism
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// DeriveSeed maps a batch root seed and a trial index to an independent
+// per-trial seed (splitmix64 of the index under the root). It is the
+// derivation RunBatch applies when BatchConfig.Seed is nonzero, exported so
+// callers can reproduce any single trial in isolation.
+func DeriveSeed(root uint64, trial int) uint64 {
+	z := root + 0x9E3779B97F4A7C15*uint64(trial+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// RunBatch executes every trial across a bounded worker pool and returns
+// the results in submission order, so parallel output is identical to
+// serial output. On failure it returns the error of the lowest-index
+// failing trial (deterministically, regardless of scheduling) and no
+// results.
+func RunBatch(trials []Trial, cfg BatchConfig) ([]*Result, error) {
+	results, errs := runPool(trials, cfg, true)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("system: trial %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// RunEach executes every trial like RunBatch but tolerates individual
+// failures: it always returns one result and one error per trial, in
+// submission order (results[i] is nil exactly where errs[i] is non-nil).
+// Use it for certification sweeps that treat a failing trial as data
+// rather than as a reason to abort.
+func RunEach(trials []Trial, cfg BatchConfig) (results []*Result, errs []error) {
+	return runPool(trials, cfg, false)
+}
+
+// runPool is the shared scheduler. With failFast, trials beyond the
+// lowest-index failure observed so far may be skipped (their slots stay
+// nil): every trial below any failure still runs, so the minimal failing
+// index — the one RunBatch reports — is always found.
+func runPool(trials []Trial, cfg BatchConfig, failFast bool) ([]*Result, []error) {
+	n := len(trials)
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return results, errs
+	}
+
+	workers := cfg.workers(n)
+	if workers <= 1 {
+		for i := range trials {
+			results[i], errs[i] = runTrial(&trials[i], i, cfg)
+			if errs[i] != nil && failFast {
+				break
+			}
+		}
+		return results, errs
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Int64
+		wg     sync.WaitGroup
+	)
+	next.Store(-1)
+	failed.Store(int64(n)) // sentinel: no failure yet
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i >= int64(n) {
+					return
+				}
+				if failFast && i > failed.Load() {
+					continue
+				}
+				res, err := runTrial(&trials[i], int(i), cfg)
+				results[i], errs[i] = res, err
+				if err != nil {
+					// CAS-min the failure index.
+					for {
+						cur := failed.Load()
+						if i >= cur || failed.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// runTrial constructs one trial's parties and executes it.
+func runTrial(t *Trial, i int, bcfg BatchConfig) (*Result, error) {
+	if t.User == nil || t.Server == nil || t.World == nil {
+		return nil, errors.New("system: trial needs User, Server and World factories")
+	}
+	user, err := t.User()
+	if err != nil {
+		return nil, err
+	}
+	cfg := t.Config
+	if bcfg.Seed != 0 {
+		cfg.Seed = DeriveSeed(bcfg.Seed, i)
+	}
+	return Run(user, t.Server(), t.World(), cfg)
+}

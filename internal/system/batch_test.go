@@ -1,0 +1,282 @@
+package system
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/commtest"
+	"repro/internal/goal"
+	"repro/internal/xrand"
+)
+
+// rngUser emits one random number per round — seed-sensitive, so batches
+// exercise per-trial seed derivation and determinism.
+type rngUser struct{ r *xrand.Rand }
+
+func (u *rngUser) Reset(r *xrand.Rand) {
+	if r == nil {
+		r = xrand.New(0)
+	}
+	u.r = r
+}
+
+func (u *rngUser) Step(comm.Inbox) (comm.Outbox, error) {
+	return comm.Outbox{ToWorld: comm.Message(strconv.FormatUint(u.r.Uint64()%1000, 10))}, nil
+}
+
+// failingUser errors at step FailAt.
+type failingUser struct {
+	FailAt int
+	step   int
+}
+
+func (u *failingUser) Reset(*xrand.Rand) { u.step = 0 }
+
+func (u *failingUser) Step(comm.Inbox) (comm.Outbox, error) {
+	if u.step == u.FailAt {
+		return comm.Outbox{}, errors.New("boom")
+	}
+	u.step++
+	return comm.Outbox{}, nil
+}
+
+func rngTrials(n int, rounds int) []Trial {
+	trials := make([]Trial, n)
+	for i := range trials {
+		trials[i] = Trial{
+			User:   func() (comm.Strategy, error) { return &rngUser{}, nil },
+			Server: func() comm.Strategy { return &commtest.Echo{} },
+			World:  func() goal.World { return &commtest.CountingWorld{} },
+			Config: Config{MaxRounds: rounds, Seed: uint64(i + 1)},
+		}
+	}
+	return trials
+}
+
+func TestRunBatchMatchesSerialAtEveryParallelism(t *testing.T) {
+	const n, rounds = 17, 40
+	mkTrials := func() []Trial { return rngTrials(n, rounds) }
+
+	want, err := RunBatch(mkTrials(), BatchConfig{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 3, 8, 32} {
+		got, err := RunBatch(mkTrials(), BatchConfig{Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(got) != n {
+			t.Fatalf("parallelism %d: %d results, want %d", par, len(got), n)
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i].History, want[i].History) ||
+				!reflect.DeepEqual(got[i].View, want[i].View) ||
+				got[i].Rounds != want[i].Rounds || got[i].Halted != want[i].Halted {
+				t.Fatalf("parallelism %d: trial %d diverges from serial", par, i)
+			}
+		}
+	}
+}
+
+func TestRunBatchSeedDerivationDeterministic(t *testing.T) {
+	const n = 9
+	run := func(par int) []*Result {
+		res, err := RunBatch(rngTrials(n, 20), BatchConfig{Parallelism: par, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), [](*Result)(run(4))
+	for i := range a {
+		if !reflect.DeepEqual(a[i].History, b[i].History) {
+			t.Fatalf("trial %d: derived-seed run differs between parallelism levels", i)
+		}
+	}
+	// The batch seed must override per-trial seeds: two trials with
+	// identical Trial.Config.Seed still get distinct streams.
+	trials := rngTrials(2, 20)
+	trials[0].Config.Seed = 7
+	trials[1].Config.Seed = 7
+	res, err := RunBatch(trials, BatchConfig{Parallelism: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(res[0].History, res[1].History) {
+		t.Fatal("derived seeds did not differentiate identical trials")
+	}
+	// And DeriveSeed must reproduce a single trial in isolation.
+	single, err := Run(&rngUser{}, &commtest.Echo{}, &commtest.CountingWorld{},
+		Config{MaxRounds: 20, Seed: DeriveSeed(42, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(single.History, res[1].History) {
+		t.Fatal("DeriveSeed does not reproduce trial 1")
+	}
+}
+
+func TestRunBatchReportsLowestIndexError(t *testing.T) {
+	for _, par := range []int{1, 4, 16} {
+		trials := rngTrials(24, 10)
+		for _, bad := range []int{19, 5, 11} {
+			trials[bad].User = func() (comm.Strategy, error) {
+				return &failingUser{FailAt: 3}, nil
+			}
+		}
+		_, err := RunBatch(trials, BatchConfig{Parallelism: par})
+		if err == nil {
+			t.Fatalf("parallelism %d: expected error", par)
+		}
+		want := fmt.Sprintf("system: trial %d:", 5)
+		if got := err.Error(); len(got) < len(want) || got[:len(want)] != want {
+			t.Fatalf("parallelism %d: error %q does not name lowest failing trial 5", par, got)
+		}
+	}
+}
+
+func TestRunEachToleratesPerTrialFailures(t *testing.T) {
+	trials := rngTrials(8, 10)
+	trials[2].User = func() (comm.Strategy, error) { return &failingUser{FailAt: 0}, nil }
+	trials[6].User = func() (comm.Strategy, error) { return nil, errors.New("no user") }
+	results, errs := RunEach(trials, BatchConfig{Parallelism: 4})
+	for i := range trials {
+		failed := i == 2 || i == 6
+		if failed && (errs[i] == nil || results[i] != nil) {
+			t.Fatalf("trial %d: want failure, got err=%v res=%v", i, errs[i], results[i])
+		}
+		if !failed && (errs[i] != nil || results[i] == nil) {
+			t.Fatalf("trial %d: want success, got err=%v", i, errs[i])
+		}
+	}
+}
+
+func TestRunBatchEmptyAndNilFactories(t *testing.T) {
+	res, err := RunBatch(nil, BatchConfig{})
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: res=%v err=%v", res, err)
+	}
+	_, err = RunBatch([]Trial{{}}, BatchConfig{})
+	if err == nil {
+		t.Fatal("nil factories must fail")
+	}
+}
+
+func TestRecordWindowMatchesFullTail(t *testing.T) {
+	const rounds, window = 37, 10
+	mk := func(rec RecordPolicy) *Result {
+		res, err := Run(&rngUser{}, &commtest.Echo{}, &commtest.CountingWorld{},
+			Config{MaxRounds: rounds, Seed: 5, Record: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	full, windowed := mk(RecordFull), mk(RecordWindow(window))
+
+	if windowed.Rounds != full.Rounds || windowed.History.Len() != full.History.Len() {
+		t.Fatalf("windowed logical length %d/%d, want %d", windowed.Rounds,
+			windowed.History.Len(), full.History.Len())
+	}
+	if windowed.History.Dropped != rounds-window || len(windowed.History.States) != window {
+		t.Fatalf("windowed retention: dropped=%d stored=%d",
+			windowed.History.Dropped, len(windowed.History.States))
+	}
+	if !reflect.DeepEqual(windowed.History.States, full.History.States[rounds-window:]) {
+		t.Fatal("windowed history tail differs from full recording")
+	}
+	if !reflect.DeepEqual(windowed.View.Rounds, full.View.Rounds[rounds-window:]) {
+		t.Fatal("windowed view tail differs from full recording")
+	}
+	if windowed.History.Last() != full.History.Last() {
+		t.Fatal("Last() differs under windowed retention")
+	}
+	// Prefixes within the window are judgeable and identical.
+	for n := full.History.Len() - window + 1; n <= full.History.Len(); n++ {
+		if windowed.History.Prefix(n).Last() != full.History.Prefix(n).Last() {
+			t.Fatalf("prefix %d differs", n)
+		}
+	}
+
+	// A run shorter than the window keeps everything.
+	short, err := Run(&commtest.Script{HaltAfter: 4}, &commtest.Echo{}, &commtest.CountingWorld{},
+		Config{MaxRounds: rounds, Seed: 5, Record: RecordWindow(window)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.History.Dropped != 0 || short.History.Len() != short.Rounds {
+		t.Fatalf("short run: dropped=%d len=%d rounds=%d",
+			short.History.Dropped, short.History.Len(), short.Rounds)
+	}
+}
+
+func TestRecordOffKeepsOnlyCounters(t *testing.T) {
+	res, err := Run(&rngUser{}, &commtest.Echo{}, &commtest.CountingWorld{},
+		Config{MaxRounds: 25, Seed: 9, Record: RecordOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History.States) != 0 || len(res.View.Rounds) != 0 {
+		t.Fatal("off retention recorded data")
+	}
+	if res.Rounds != 25 || res.History.Len() != 25 || res.View.Len() != 25 {
+		t.Fatalf("off retention lost counters: rounds=%d len=%d", res.Rounds, res.History.Len())
+	}
+}
+
+func TestOnRoundFiresUnderEveryRetention(t *testing.T) {
+	for _, rec := range []RecordPolicy{RecordFull, RecordWindow(3), RecordOff} {
+		var rounds int
+		var lastState comm.WorldState
+		_, err := Run(&rngUser{}, &commtest.Echo{}, &commtest.CountingWorld{},
+			Config{MaxRounds: 12, Seed: 2, Record: rec,
+				OnRound: func(round int, rv comm.RoundView, state comm.WorldState) {
+					rounds++
+					lastState = state
+				}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds != 12 || lastState == "" {
+			t.Fatalf("%v: OnRound fired %d times (last %q)", rec, rounds, lastState)
+		}
+	}
+}
+
+func TestReleaseResultRecyclesStorage(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(&rngUser{}, &commtest.Echo{}, &commtest.CountingWorld{},
+			Config{MaxRounds: 30, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run()
+	states := append([]comm.WorldState(nil), first.History.States...)
+	ReleaseResult(first)
+	ReleaseResult(nil) // must not panic
+	second := run()
+	if !reflect.DeepEqual(second.History.States, states) {
+		t.Fatal("recycled result differs from fresh run")
+	}
+}
+
+func TestRecordPolicyString(t *testing.T) {
+	cases := map[string]RecordPolicy{
+		"full":      RecordFull,
+		"off":       RecordOff,
+		"window(7)": RecordWindow(7),
+		"window(1)": RecordWindow(0),
+	}
+	for want, p := range cases {
+		if got := p.String(); got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+}

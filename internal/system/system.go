@@ -1,16 +1,26 @@
-// Package system implements the synchronous execution engine for the
-// three-party (user, server, world) model.
+// Package system implements the execution engine for the three-party
+// (user, server, world) model.
 //
 // Execution proceeds in rounds. In each round every party consumes the
 // messages sent to it in the previous round and produces messages to be
 // delivered in the next round; after the world's step its state is
-// snapshotted into the history that referees judge. The engine is
-// single-goroutine and fully deterministic given Config.Seed.
+// snapshotted into the history that referees judge. A single execution
+// (Run) is single-goroutine and fully deterministic given Config.Seed.
+//
+// Beyond single executions the package provides a batch scheduler:
+// RunBatch and RunEach fan independent Trial specs across a bounded worker
+// pool, delivering results in submission order so that parallel output is
+// identical to serial output. Config.Record selects how much of each
+// execution is materialized (RecordFull, RecordWindow, RecordOff) — hot
+// paths that only consult a trailing window of the history can skip
+// recording the rest, and ReleaseResult recycles Result storage across
+// runs.
 package system
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/comm"
 	"repro/internal/goal"
@@ -22,9 +32,47 @@ import (
 // horizon on which their referees are evaluated.
 const DefaultMaxRounds = 1000
 
-// ErrNoProgress is reserved for engines layered above this one; the base
-// engine itself always runs to halt or horizon.
-var ErrNoProgress = errors.New("system: execution made no progress")
+// RecordPolicy selects how much of an execution the engine materializes
+// into the Result. The zero value is RecordFull, so existing call sites
+// keep complete histories and views by default.
+//
+// Windowed and off recording change only what is stored, never how the
+// parties execute: OnRound still observes every round, and Result.Rounds
+// and History.Len report the true execution length. Referees driven from a
+// windowed history must judge prefixes by their recent states — true of
+// every stock goal in this repository, whose worlds serialize cumulative
+// state into each snapshot.
+type RecordPolicy struct {
+	window int
+}
+
+// RecordFull keeps every round's world state and round view (the default).
+var RecordFull = RecordPolicy{}
+
+// RecordOff keeps no per-round data at all; the Result carries only
+// Rounds and Halted (History and View are empty with Dropped set).
+var RecordOff = RecordPolicy{window: -1}
+
+// RecordWindow keeps only the trailing k rounds of history and view,
+// ring-buffered during execution. k < 1 is treated as 1.
+func RecordWindow(k int) RecordPolicy {
+	if k < 1 {
+		k = 1
+	}
+	return RecordPolicy{window: k}
+}
+
+// String returns a human-readable policy name.
+func (p RecordPolicy) String() string {
+	switch {
+	case p.window < 0:
+		return "off"
+	case p.window == 0:
+		return "full"
+	default:
+		return fmt.Sprintf("window(%d)", p.window)
+	}
+}
 
 // Config controls a single execution.
 type Config struct {
@@ -35,19 +83,25 @@ type Config struct {
 	// derives independent streams for the user, server and world.
 	Seed uint64
 
+	// Record selects how much of the execution is materialized into the
+	// Result; the zero value records everything. See RecordPolicy.
+	Record RecordPolicy
+
 	// OnRound, if non-nil, is invoked after every round with the round
 	// index (0-based), the user's view of the round, and the world
-	// snapshot. Used by trace experiments; leave nil on hot paths.
+	// snapshot — regardless of the Record policy. Used by trace
+	// experiments and online sensing; leave nil on hot paths.
 	OnRound func(round int, rv comm.RoundView, state comm.WorldState)
 }
 
 // Result is the record of one execution.
 type Result struct {
-	// History is the sequence of world snapshots, one per round.
+	// History is the sequence of world snapshots, one per round (or the
+	// trailing window of it, per Config.Record).
 	History comm.History
 
 	// View is the user's view of the execution (its inboxes and
-	// outboxes, one RoundView per round).
+	// outboxes, one RoundView per round, windowed per Config.Record).
 	View comm.View
 
 	// Rounds is the number of completed rounds.
@@ -56,6 +110,35 @@ type Result struct {
 	// Halted reports whether the user strategy declared itself halted
 	// (relevant to finite goals) before the horizon.
 	Halted bool
+}
+
+// resultPool recycles Result structs and their slice storage across runs.
+// Results are pooled only through ReleaseResult, so callers that retain
+// results indefinitely are unaffected.
+var resultPool = sync.Pool{New: func() any { return new(Result) }}
+
+// acquireResult returns a zeroed Result whose slice storage may be reused
+// from a previously released one.
+func acquireResult() *Result {
+	return resultPool.Get().(*Result)
+}
+
+// ReleaseResult returns a Result's storage to the engine's internal pool.
+// The caller must not touch res, its History or its View afterwards; use
+// it only when the result (including any slices taken from it) has been
+// fully consumed. Releasing results is optional — it trims allocations on
+// hot batch loops.
+func ReleaseResult(res *Result) {
+	if res == nil {
+		return
+	}
+	clear(res.History.States) // drop string references
+	clear(res.View.Rounds)
+	res.History = comm.History{States: res.History.States[:0]}
+	res.View = comm.View{Rounds: res.View.Rounds[:0]}
+	res.Rounds = 0
+	res.Halted = false
+	resultPool.Put(res)
 }
 
 // Run executes (user, server, world) for up to cfg.MaxRounds rounds or until
@@ -70,6 +153,7 @@ func Run(user, server comm.Strategy, world goal.World, cfg Config) (*Result, err
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds
 	}
+	window := cfg.Record.window
 
 	root := xrand.New(cfg.Seed)
 	user.Reset(root.Split())
@@ -78,10 +162,7 @@ func Run(user, server comm.Strategy, world goal.World, cfg Config) (*Result, err
 
 	halter, _ := user.(comm.Halter)
 
-	res := &Result{
-		History: comm.History{States: make([]comm.WorldState, 0, maxRounds)},
-		View:    comm.View{Rounds: make([]comm.RoundView, 0, maxRounds)},
-	}
+	res := acquireResult()
 
 	// Messages in flight: produced last round, delivered this round.
 	var fromUser, fromServer, fromWorld comm.Outbox
@@ -102,23 +183,37 @@ func Run(user, server comm.Strategy, world goal.World, cfg Config) (*Result, err
 
 		userOut, err := user.Step(userIn)
 		if err != nil {
+			ReleaseResult(res)
 			return nil, fmt.Errorf("system: user step (round %d): %w", round, err)
 		}
 		serverOut, err := server.Step(serverIn)
 		if err != nil {
+			ReleaseResult(res)
 			return nil, fmt.Errorf("system: server step (round %d): %w", round, err)
 		}
 		worldOut, err := world.Step(worldIn)
 		if err != nil {
+			ReleaseResult(res)
 			return nil, fmt.Errorf("system: world step (round %d): %w", round, err)
 		}
 
 		fromUser, fromServer, fromWorld = userOut, serverOut, worldOut
 
 		state := world.Snapshot()
-		res.History.States = append(res.History.States, state)
 		rv := comm.RoundView{In: userIn, Out: userOut}
-		res.View.Rounds = append(res.View.Rounds, rv)
+		switch {
+		case window == 0: // full recording
+			res.History.States = append(res.History.States, state)
+			res.View.Rounds = append(res.View.Rounds, rv)
+		case window > 0: // ring-buffered trailing window
+			if len(res.History.States) < window {
+				res.History.States = append(res.History.States, state)
+				res.View.Rounds = append(res.View.Rounds, rv)
+			} else {
+				res.History.States[round%window] = state
+				res.View.Rounds[round%window] = rv
+			}
+		}
 		res.Rounds = round + 1
 
 		if cfg.OnRound != nil {
@@ -130,5 +225,34 @@ func Run(user, server comm.Strategy, world goal.World, cfg Config) (*Result, err
 			break
 		}
 	}
+
+	switch {
+	case window < 0: // nothing recorded
+		res.History.Dropped = res.Rounds
+		res.View.Dropped = res.Rounds
+	case window > 0 && res.Rounds > window:
+		// Rotate the ring buffers into chronological order: the oldest
+		// retained round sits at index Rounds % window.
+		rotate(res.History.States, res.Rounds%window)
+		rotate(res.View.Rounds, res.Rounds%window)
+		res.History.Dropped = res.Rounds - window
+		res.View.Dropped = res.Rounds - window
+	}
 	return res, nil
+}
+
+// rotate moves s[k:] to the front of s in place (three-reversal rotation).
+func rotate[T any](s []T, k int) {
+	if k <= 0 || k >= len(s) {
+		return
+	}
+	reverse(s[:k])
+	reverse(s[k:])
+	reverse(s)
+}
+
+func reverse[T any](s []T) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
 }

@@ -153,6 +153,11 @@ const (
 // states, each attempt may legitimately run in a fresh execution; the
 // runner dovetails candidate strategies "in parallel" per the selected
 // Schedule and uses sensing to decide when to stop.
+//
+// The dovetailing is literal: each phase's attempts execute concurrently
+// through system.RunBatch (bounded by Parallel), and the phase's results
+// are then judged in attempt order, so the outcome — including TotalRounds
+// and the Attempts list — is identical to a strictly serial search.
 type FiniteRunner struct {
 	// Enum is the candidate user-strategy enumeration.
 	Enum enumerate.Enumerator
@@ -168,6 +173,9 @@ type FiniteRunner struct {
 	// BudgetCap bounds any single attempt's rounds; 0 means no cap
 	// beyond the phase structure.
 	BudgetCap int
+	// Parallel bounds the per-phase worker pool; values < 1 mean
+	// GOMAXPROCS. The search result is the same at every setting.
+	Parallel int
 }
 
 // Default phase bounds per schedule.
@@ -207,6 +215,13 @@ func (fr *FiniteRunner) Run(
 	res := &FiniteResult{}
 	root := xrand.New(seed)
 	for p := 0; p < maxPhases; p++ {
+		// Collect the phase's attempt specs, drawing seeds in attempt
+		// order (exactly as a serial search would).
+		type attemptSpec struct {
+			index, budget int
+			seed          uint64
+		}
+		var specs []attemptSpec
 		for i := 0; i <= p; i++ {
 			if size != enumerate.Unbounded && i >= size {
 				break
@@ -218,31 +233,52 @@ func (fr *FiniteRunner) Run(
 			if fr.BudgetCap > 0 && budget > fr.BudgetCap {
 				continue
 			}
-			attemptSeed := root.Uint64()
-			cand := fr.Enum.Strategy(i)
-			exec, err := system.Run(cand, mkServer(), mkWorld(), system.Config{
-				MaxRounds: budget,
-				Seed:      attemptSeed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("universal: attempt (cand %d, budget %d): %w", i, budget, err)
+			specs = append(specs, attemptSpec{index: i, budget: budget, seed: root.Uint64()})
+		}
+		if len(specs) == 0 {
+			continue
+		}
+
+		trials := make([]system.Trial, len(specs))
+		for t, spec := range specs {
+			trials[t] = system.Trial{
+				User: func() (comm.Strategy, error) {
+					return fr.Enum.Strategy(spec.index), nil
+				},
+				Server: func() comm.Strategy { return mkServer() },
+				World:  func() goal.World { return mkWorld() },
+				Config: system.Config{MaxRounds: spec.budget, Seed: spec.seed},
 			}
+		}
+		execs, err := system.RunBatch(trials, system.BatchConfig{Parallelism: fr.Parallel})
+		if err != nil {
+			return nil, fmt.Errorf("universal: phase %d: %w", p, err)
+		}
+
+		// Judge the phase's attempts in order; everything after the
+		// first success was speculative work and is discarded.
+		for t, spec := range specs {
+			exec := execs[t]
 			verdict := exec.Halted && sensing.Replay(fr.Sense, exec.View)
 			res.TotalRounds += exec.Rounds
 			res.Attempts = append(res.Attempts, Attempt{
-				Index:   i,
-				Budget:  budget,
+				Index:   spec.index,
+				Budget:  spec.budget,
 				Rounds:  exec.Rounds,
 				Halted:  exec.Halted,
 				Verdict: verdict,
 			})
 			if verdict {
 				res.Succeeded = true
-				res.Index = i
-				res.Budget = budget
+				res.Index = spec.index
+				res.Budget = spec.budget
 				res.Final = exec
+				for _, spare := range execs[t+1:] {
+					system.ReleaseResult(spare)
+				}
 				return res, nil
 			}
+			system.ReleaseResult(exec)
 		}
 	}
 	return res, nil
