@@ -8,10 +8,13 @@
 //	goalcert -goal treasure -class 16
 //	goalcert -goal transfer -class 6
 //	goalcert -goal control -class 5 -parallel 4
+//	goalcert -goal printing -class 8 -json
 //
 // Certification sweeps are embarrassingly parallel and run through the
 // batch engine; -parallel bounds the worker pool without affecting the
-// verdicts.
+// verdicts. -json emits the report as a harness.CertReport — fully
+// deterministic, for tracking certification across commits — and the exit
+// code still signals failure.
 //
 // For each goal it builds the standard server class (plus known-unhelpful
 // probes: an obstinate server and, where defined, a lying one), reports
@@ -20,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -148,6 +152,7 @@ func run(args []string, stdout io.Writer) error {
 		rounds    = fs.Int("rounds", 0, "horizon per certification run (0 = 60 × class size)")
 		seed      = fs.Uint64("seed", 1, "root random seed")
 		parallel  = fs.Int("parallel", 0, "certification worker pool size (0 = GOMAXPROCS); does not affect results")
+		jsonOut   = fs.Bool("json", false, "emit the certification report as JSON instead of text")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -166,7 +171,14 @@ func run(args []string, stdout io.Writer) error {
 		horizon = 60 * *classSize
 	}
 	cfg := harness.CertConfig{MaxRounds: horizon, Seed: *seed, Envs: 1, Parallel: *parallel}
-
+	report := &harness.CertReport{
+		Goal:      *goalName,
+		Class:     *classSize,
+		Horizon:   horizon,
+		Seed:      *seed,
+		Safety:    []harness.Violation{},
+		Viability: []harness.Violation{},
+	}
 	// 1. Helpfulness of every class member and every probe.
 	tbl := &harness.Table{
 		ID:      "CERT",
@@ -179,7 +191,11 @@ func run(args []string, stdout io.Writer) error {
 		if ok {
 			w = harness.I(witness)
 		}
-		tbl.AddRow(fmt.Sprintf("class[%d]", i), yesNo(ok), w)
+		name := fmt.Sprintf("class[%d]", i)
+		tbl.AddRow(name, yesNo(ok), w)
+		report.Servers = append(report.Servers, harness.ServerVerdict{
+			Server: name, Helpful: ok, Witness: witness,
+		})
 	}
 	// Probes are iterated in sorted name order so the report (and the
 	// violation indices below) are identical run to run.
@@ -191,12 +207,15 @@ func run(args []string, stdout io.Writer) error {
 	for _, name := range probeNames {
 		ok, _ := harness.HelpfulCompact(b.goal, b.probes[name], b.enum, cfg)
 		tbl.AddRow("probe:"+name, yesNo(ok), "-")
+		report.Servers = append(report.Servers, harness.ServerVerdict{
+			Server: "probe:" + name, Probe: true, Helpful: ok, Witness: -1,
+		})
 		if ok {
+			// Neither mode emits a report here: the sweep is
+			// incomplete, and a truncated report would be
+			// indistinguishable from a complete uncertified one.
 			return fmt.Errorf("probe %q wrongly certified helpful", name)
 		}
-	}
-	if err := tbl.Render(stdout); err != nil {
-		return err
 	}
 
 	// 2. Safety against class ∪ probes; viability against the class.
@@ -204,22 +223,38 @@ func run(args []string, stdout io.Writer) error {
 	for _, name := range probeNames {
 		all = append(all, b.probes[name])
 	}
-	safety := harness.CertifySafetyCompact(b.goal, b.mkSense, b.enum, all, cfg)
-	viability := harness.CertifyViabilityCompact(b.goal, b.mkSense, b.enum, b.servers, cfg)
+	report.Safety = append(report.Safety,
+		harness.CertifySafetyCompact(b.goal, b.mkSense, b.enum, all, cfg)...)
+	report.Viability = append(report.Viability,
+		harness.CertifyViabilityCompact(b.goal, b.mkSense, b.enum, b.servers, cfg)...)
+	report.Certified = len(report.Safety)+len(report.Viability) == 0
 
-	fmt.Fprintf(stdout, "\nsensing safety violations:    %d\n", len(safety))
-	for _, v := range safety {
-		fmt.Fprintln(stdout, " ", v)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		if err := tbl.Render(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nsensing safety violations:    %d\n", len(report.Safety))
+		for _, v := range report.Safety {
+			fmt.Fprintln(stdout, " ", v)
+		}
+		fmt.Fprintf(stdout, "sensing viability violations: %d\n", len(report.Viability))
+		for _, v := range report.Viability {
+			fmt.Fprintln(stdout, " ", v)
+		}
+		if report.Certified {
+			fmt.Fprintln(stdout, "\ncertified: sensing is safe and viable — Theorem 1 applies to this goal and class")
+		}
 	}
-	fmt.Fprintf(stdout, "sensing viability violations: %d\n", len(viability))
-	for _, v := range viability {
-		fmt.Fprintln(stdout, " ", v)
-	}
-	if len(safety)+len(viability) > 0 {
+	if !report.Certified {
 		return fmt.Errorf("certification failed: %d safety, %d viability violations",
-			len(safety), len(viability))
+			len(report.Safety), len(report.Viability))
 	}
-	fmt.Fprintln(stdout, "\ncertified: sensing is safe and viable — Theorem 1 applies to this goal and class")
 	return nil
 }
 

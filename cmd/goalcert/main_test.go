@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/harness"
 )
 
 func TestCertifyPrinting(t *testing.T) {
@@ -87,6 +90,52 @@ func TestWitnessMatchesServerIndex(t *testing.T) {
 		if !found {
 			t.Fatalf("witness for %s wrong:\n%s", want, b.String())
 		}
+	}
+}
+
+func TestCertifyJSON(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-goal", "printing", "-class", "4", "-json"}, &b); err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	var report harness.CertReport
+	if err := json.Unmarshal([]byte(b.String()), &report); err != nil {
+		t.Fatalf("output is not a CertReport: %v\n%s", err, b.String())
+	}
+	if !report.Certified {
+		t.Fatalf("printing/4 not certified: %+v", report)
+	}
+	if report.Goal != "printing" || report.Class != 4 || report.Horizon != 240 {
+		t.Fatalf("report header wrong: %+v", report)
+	}
+	// 4 class members + 2 probes (obstinate, lying), none of the probes
+	// helpful, witnesses matching the dialect indices.
+	if len(report.Servers) != 6 {
+		t.Fatalf("report has %d server verdicts, want 6", len(report.Servers))
+	}
+	for i, sv := range report.Servers[:4] {
+		if !sv.Helpful || sv.Witness != i || sv.Probe {
+			t.Fatalf("class[%d] verdict wrong: %+v", i, sv)
+		}
+	}
+	for _, sv := range report.Servers[4:] {
+		if sv.Helpful || !sv.Probe {
+			t.Fatalf("probe verdict wrong: %+v", sv)
+		}
+	}
+	if len(report.Safety) != 0 || len(report.Viability) != 0 {
+		t.Fatalf("unexpected violations: %+v", report)
+	}
+
+	// Reports are deterministic: a second run is byte-identical.
+	var b2 strings.Builder
+	if err := run([]string{"-goal", "printing", "-class", "4", "-json"}, &b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Fatal("-json report differs between identical runs")
 	}
 }
 

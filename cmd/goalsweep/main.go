@@ -1,0 +1,327 @@
+// Command goalsweep evaluates scenario matrices: declarative cross-products
+// of (goal × world params × user strategy × server transform stack ×
+// horizon) swept through the batch execution engine with online
+// per-scenario aggregation.
+//
+// Usage:
+//
+//	goalsweep -builtin default                   # sweep the stock matrix
+//	goalsweep -spec grid.json -parallel 4        # sweep a JSON spec
+//	goalsweep -builtin default -sample 100       # deterministic random subset
+//	goalsweep -filter goal=transfer -filter noise=0,0.3
+//	goalsweep -builtin default -json -out sweep.json
+//	goalsweep -builtin default -csv
+//	goalsweep -builtin quick -bench BENCH_sweep.json
+//	goalsweep -builtin default -list             # print scenarios, don't run
+//
+// Sweeps are deterministic per spec and seed: -parallel bounds the worker
+// pool without changing a byte of -json/-csv output, and every scenario
+// carries a stable content-derived ID, so sampled sweeps report exactly
+// what a full enumeration would report for the same scenarios. -bench
+// additionally writes a small throughput artifact (the only output with
+// timings in it).
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "goalsweep:", err)
+		os.Exit(1)
+	}
+}
+
+// filterFlags collects repeated -filter axis=v1,v2 arguments.
+type filterFlags []string
+
+func (f *filterFlags) String() string { return strings.Join(*f, "; ") }
+func (f *filterFlags) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("goalsweep", flag.ContinueOnError)
+	var (
+		specPath   = fs.String("spec", "", "JSON scenario spec file")
+		builtin    = fs.String("builtin", "", "built-in spec name (default, quick); ignored when -spec is set")
+		sample     = fs.Int("sample", 0, "sweep only a deterministic random subset of this many scenarios (0 = all)")
+		sampleSeed = fs.Uint64("sampleseed", 1, "seed for -sample subset selection")
+		parallel   = fs.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
+		seeds      = fs.Int("seeds", 0, "override the spec's trials per scenario (0 = spec value)")
+		window     = fs.Int("window", 0, "override the spec's convergence window (0 = spec value)")
+		baseSeed   = fs.Uint64("baseseed", 0, "override the spec's base seed (0 = spec value)")
+		jsonOut    = fs.Bool("json", false, "emit per-scenario aggregates and the summary as JSON")
+		csvOut     = fs.Bool("csv", false, "emit per-scenario aggregates as CSV")
+		list       = fs.Bool("list", false, "list the selected scenarios without executing them")
+		outPath    = fs.String("out", "", "write output to this file instead of stdout")
+		benchPath  = fs.String("bench", "", "also write a throughput artifact (JSON with timings) to this file")
+		filters    filterFlags
+	)
+	fs.Var(&filters, "filter", "restrict an axis: axis=v1,v2 (repeatable)")
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jsonOut && *csvOut {
+		return fmt.Errorf("-json and -csv are mutually exclusive")
+	}
+
+	spec, err := loadSpec(*specPath, *builtin)
+	if err != nil {
+		return err
+	}
+	for _, f := range filters {
+		name, vals, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("bad -filter %q: want axis=v1,v2", f)
+		}
+		if err := spec.Restrict(name, strings.Split(vals, ",")...); err != nil {
+			return err
+		}
+	}
+	m, err := scenario.NewMatrix(spec)
+	if err != nil {
+		return err
+	}
+
+	var indices []int64 // nil = the whole matrix
+	if *sample > 0 {
+		indices = m.Sample(*sample, *sampleSeed)
+	}
+	selected := m.Size()
+	if indices != nil {
+		selected = int64(len(indices))
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *outPath, err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	if *list {
+		return listScenarios(out, m, indices)
+	}
+
+	cfg := scenario.SweepConfig{
+		Parallel: *parallel,
+		Seeds:    *seeds,
+		Window:   *window,
+		BaseSeed: *baseSeed,
+	}
+
+	var stats []*scenario.Stats
+	var firstFailed *scenario.Stats
+	cfg.OnStats = func(st *scenario.Stats) error {
+		stats = append(stats, st)
+		if st.Errors > 0 && firstFailed == nil {
+			firstFailed = st
+		}
+		return nil
+	}
+	start := time.Now()
+	sum, err := m.Sweep(indices, cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if *benchPath != "" {
+		if err := writeBench(*benchPath, sum, elapsed, *parallel); err != nil {
+			return err
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		err = writeJSON(out, spec, sum, stats)
+	case *csvOut:
+		err = writeCSV(out, spec, stats)
+	default:
+		err = writeTable(out, m, spec, sum, stats, selected)
+	}
+	if err != nil {
+		return err
+	}
+	// Failing trials are data in the report above, but a sweep that could
+	// not execute everything must not exit 0.
+	if firstFailed != nil {
+		return fmt.Errorf("%d of %d trials failed (first: scenario %s: %s)",
+			sum.Errors, sum.Trials, firstFailed.ID, firstFailed.FirstError)
+	}
+	return nil
+}
+
+// loadSpec reads -spec, or resolves -builtin (defaulting to "default").
+func loadSpec(specPath, builtin string) (*scenario.Spec, error) {
+	if specPath != "" {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return scenario.ReadSpec(f)
+	}
+	if builtin == "" {
+		builtin = "default"
+	}
+	return scenario.BuiltinSpec(builtin)
+}
+
+func listScenarios(out io.Writer, m *scenario.Matrix, indices []int64) error {
+	emit := func(sc *scenario.Scenario) error {
+		_, err := fmt.Fprintln(out, sc.String())
+		return err
+	}
+	if indices == nil {
+		return m.Each(emit)
+	}
+	for _, i := range indices {
+		if err := emit(m.At(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeJSON(out io.Writer, spec *scenario.Spec, sum *scenario.Summary, stats []*scenario.Stats) error {
+	type report struct {
+		Spec      string            `json:"spec"`
+		Scenarios []*scenario.Stats `json:"scenarios"`
+		Summary   *scenario.Summary `json:"summary"`
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report{Spec: spec.Name, Scenarios: stats, Summary: sum})
+}
+
+// g formats a float in shortest round-trip form for CSV cells.
+func g(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+func writeCSV(out io.Writer, spec *scenario.Spec, stats []*scenario.Stats) error {
+	w := csv.NewWriter(out)
+	header := []string{"id"}
+	for _, ax := range spec.Axes {
+		header = append(header, ax.Name)
+	}
+	header = append(header,
+		"trials", "errors", "successes", "successRate",
+		"roundsMean", "roundsP50", "roundsP99", "roundsMax", "roundsStddev",
+		"meanExecutedRounds", "msgsPerRound", "meanSwitches", "firstError")
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, st := range stats {
+		row := []string{st.ID}
+		for _, av := range st.Axes {
+			row = append(row, av.Value)
+		}
+		row = append(row,
+			strconv.Itoa(st.Trials), strconv.Itoa(st.Errors),
+			strconv.Itoa(st.Successes), g(st.SuccessRate),
+			g(st.Rounds.Mean), g(st.Rounds.P50), g(st.Rounds.P99),
+			g(st.Rounds.Max), g(st.Rounds.Stddev),
+			g(st.MeanExecutedRounds), g(st.MsgsPerRound), g(st.MeanSwitches),
+			st.FirstError)
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// writeTable renders the human-readable report: one row per scenario with
+// a column for every axis that actually varies, then the summary.
+func writeTable(out io.Writer, m *scenario.Matrix, spec *scenario.Spec,
+	sum *scenario.Summary, stats []*scenario.Stats, selected int64) error {
+	var varying []string
+	for _, ax := range spec.Axes {
+		if len(ax.Values) > 1 {
+			varying = append(varying, ax.Name)
+		}
+	}
+	tbl := &harness.Table{
+		ID:    "SWEEP",
+		Title: fmt.Sprintf("spec %q: %d of %d scenarios", spec.Name, selected, m.Size()),
+		Columns: append(append([]string{"scenario"}, varying...),
+			"trials", "ok", "mean", "p50", "p99", "msg/r", "switches"),
+	}
+	for _, st := range stats {
+		row := []string{st.ID}
+		for _, name := range varying {
+			v, _ := st.Axis(name)
+			row = append(row, v)
+		}
+		row = append(row,
+			harness.I(st.Trials),
+			harness.Percent(st.Successes, st.Trials),
+			harness.F(st.Rounds.Mean),
+			harness.F(st.Rounds.P50),
+			harness.F(st.Rounds.P99),
+			fmt.Sprintf("%.2f", st.MsgsPerRound),
+			harness.F(st.MeanSwitches))
+		tbl.AddRow(row...)
+	}
+	if err := tbl.Render(out); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(out, "\nsummary: %d scenarios, %d trials, %d successes (%s), %d errors, %d rounds\n",
+		sum.Scenarios, sum.Trials, sum.Successes,
+		harness.Percent(sum.Successes, sum.Trials), sum.Errors, sum.TotalRounds)
+	return err
+}
+
+// writeBench writes the throughput artifact — deliberately the only
+// goalsweep output that contains timings.
+func writeBench(path string, sum *scenario.Summary, elapsed time.Duration, parallel int) error {
+	type bench struct {
+		Spec         string  `json:"spec"`
+		Scenarios    int     `json:"scenarios"`
+		Trials       int     `json:"trials"`
+		TotalRounds  int64   `json:"totalRounds"`
+		Parallel     int     `json:"parallel"`
+		ElapsedNs    int64   `json:"elapsedNs"`
+		TrialsPerSec float64 `json:"trialsPerSec"`
+		RoundsPerSec float64 `json:"roundsPerSec"`
+	}
+	secs := elapsed.Seconds()
+	b := bench{
+		Spec:        sum.Spec,
+		Scenarios:   sum.Scenarios,
+		Trials:      sum.Trials,
+		TotalRounds: sum.TotalRounds,
+		Parallel:    parallel,
+		ElapsedNs:   elapsed.Nanoseconds(),
+	}
+	if secs > 0 {
+		b.TrialsPerSec = float64(sum.Trials) / secs
+		b.RoundsPerSec = float64(sum.TotalRounds) / secs
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runSweep(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("goalsweep %v: %v\n%s", args, err, b.String())
+	}
+	return b.String()
+}
+
+// TestJSONByteIdenticalAcrossParallelism is the PR's acceptance criterion:
+// over the ≥200-scenario default matrix, -json output at -parallel 1 is
+// byte-identical to the default (GOMAXPROCS) pool.
+func TestJSONByteIdenticalAcrossParallelism(t *testing.T) {
+	t.Parallel()
+
+	serial := runSweep(t, "-builtin", "default", "-json", "-parallel", "1")
+	parallel := runSweep(t, "-builtin", "default", "-json")
+	if serial != parallel {
+		t.Fatal("-json output differs between -parallel 1 and the default pool")
+	}
+	if !strings.Contains(serial, `"scenarios": 288`) {
+		t.Fatalf("default matrix is not the expected 288 scenarios:\n%s",
+			serial[len(serial)-400:])
+	}
+}
+
+func TestTableOutput(t *testing.T) {
+	t.Parallel()
+
+	out := runSweep(t, "-builtin", "quick")
+	for _, want := range []string{"SWEEP", "obstinate", "summary:", "12 scenarios"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	t.Parallel()
+
+	out := runSweep(t, "-builtin", "quick", "-csv")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 13 { // header + 12 scenarios
+		t.Fatalf("CSV has %d lines, want 13:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "id,goal,class,server,noise,rounds,") {
+		t.Fatalf("CSV header wrong: %s", lines[0])
+	}
+}
+
+func TestListDoesNotExecute(t *testing.T) {
+	t.Parallel()
+
+	out := runSweep(t, "-builtin", "default", "-list", "-sample", "7")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("-list -sample 7 printed %d lines:\n%s", len(lines), out)
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "goal=") {
+			t.Fatalf("listing line missing coordinates: %s", line)
+		}
+	}
+}
+
+// TestSampleIsSubsetOfFullSweep checks that a sampled sweep reports
+// exactly the rows the full sweep reports for those scenario IDs.
+func TestSampleIsSubsetOfFullSweep(t *testing.T) {
+	t.Parallel()
+
+	full := runSweep(t, "-builtin", "quick", "-csv")
+	rows := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSpace(full), "\n")[1:] {
+		id := line[:strings.Index(line, ",")]
+		rows[id] = line
+	}
+	sampled := runSweep(t, "-builtin", "quick", "-csv", "-sample", "4", "-sampleseed", "9")
+	lines := strings.Split(strings.TrimSpace(sampled), "\n")[1:]
+	if len(lines) != 4 {
+		t.Fatalf("sampled %d rows, want 4", len(lines))
+	}
+	for _, line := range lines {
+		id := line[:strings.Index(line, ",")]
+		if rows[id] != line {
+			t.Fatalf("sampled row for %s differs from full sweep:\n%s\n%s", id, line, rows[id])
+		}
+	}
+}
+
+func TestFilterRestrictsAxes(t *testing.T) {
+	t.Parallel()
+
+	out := runSweep(t, "-builtin", "quick", "-csv",
+		"-filter", "goal=treasure", "-filter", "server=0,-1")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 1 goal × 2 servers × 2 noise
+		t.Fatalf("filtered CSV has %d lines, want 5:\n%s", len(lines), out)
+	}
+	if strings.Contains(out, "printing") || strings.Contains(out, "obstinate") {
+		t.Fatalf("filtered output leaked excluded values:\n%s", out)
+	}
+
+	var b strings.Builder
+	if err := run([]string{"-builtin", "quick", "-filter", "bogus"}, &b); err == nil {
+		t.Fatal("malformed -filter accepted")
+	}
+	if err := run([]string{"-builtin", "quick", "-filter", "goal=nosuch"}, &b); err == nil {
+		t.Fatal("-filter with unknown value accepted")
+	}
+}
+
+func TestSpecFileAndOverrides(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.json")
+	spec := `{
+		"name": "mini",
+		"seeds": 1,
+		"axes": [
+			{"name": "goal", "values": ["treasure"]},
+			{"name": "class", "values": ["3"]},
+			{"name": "server", "values": ["0", "2"]},
+			{"name": "rounds", "values": ["200"]}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runSweep(t, "-spec", path, "-csv", "-seeds", "3")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("spec sweep has %d lines, want 3:\n%s", len(lines), out)
+	}
+	for _, line := range lines[1:] {
+		if !strings.Contains(line, ",3,0,3,1,") { // trials=3, errors=0, successes=3, rate=1
+			t.Fatalf("-seeds 3 override not applied: %s", line)
+		}
+	}
+
+	var b strings.Builder
+	if err := run([]string{"-spec", filepath.Join(dir, "missing.json")}, &b); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+}
+
+func TestBenchArtifact(t *testing.T) {
+	t.Parallel()
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	runSweep(t, "-builtin", "quick", "-bench", path, "-json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"spec": "quick"`, `"roundsPerSec"`, `"trials": 12`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("bench artifact missing %s:\n%s", want, data)
+		}
+	}
+}
+
+func TestMutuallyExclusiveOutputs(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-builtin", "quick", "-json", "-csv"}, &b); err == nil {
+		t.Fatal("-json -csv accepted together")
+	}
+	if err := run([]string{"-builtin", "nosuch"}, &b); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+}

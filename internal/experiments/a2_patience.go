@@ -3,14 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/comm"
-	"repro/internal/dialect"
-	"repro/internal/goal"
-	"repro/internal/goals/transfer"
 	"repro/internal/harness"
-	"repro/internal/server"
-	"repro/internal/system"
-	"repro/internal/universal"
+	"repro/internal/scenario"
 )
 
 // RunA2 sweeps sensing patience against server slowness — the practical
@@ -21,6 +15,10 @@ import (
 // between progress events, inflating convergence by the churn tax (the
 // goal is forgiving, so achievement survives — only efficiency and
 // settling degrade, which is itself a finding worth the table).
+//
+// The (slowness, patience) grid is a two-axis scenario spec; rows are
+// emitted in grid order by the streaming sweep, slowness varying slowest,
+// exactly as the historical nested loop did.
 func RunA2(cfg Config) (*harness.Report, error) {
 	famSize := 12
 	serverIdx := 9
@@ -34,12 +32,26 @@ func RunA2(cfg Config) (*harness.Report, error) {
 		patiences = []int{2, 8}
 		delays = []int{0, 3}
 	}
+	horizon := 400 * famSize
 
-	fam, err := dialect.NewWordFamily(transfer.Vocabulary(), famSize)
+	spec := &scenario.Spec{
+		Name: "a2-patience",
+		Axes: []scenario.Axis{
+			{Name: "goal", Values: []string{"transfer"}},
+			{Name: "class", Values: scenario.Ints(famSize)},
+			{Name: "server", Values: scenario.Ints(serverIdx)},
+			{Name: "param", Values: scenario.Ints(chunks)},
+			{Name: "rounds", Values: scenario.Ints(horizon)},
+			{Name: "slow", Values: scenario.Ints(delays...)},
+			{Name: "patience", Values: scenario.Ints(patiences...)},
+		},
+		Seeds:  1,
+		Window: 10,
+	}
+	m, err := scenario.NewMatrix(spec)
 	if err != nil {
 		return nil, fmt.Errorf("A2: %w", err)
 	}
-	g := &transfer.Goal{K: chunks}
 
 	tbl := &harness.Table{
 		ID:      "A2",
@@ -53,53 +65,38 @@ func RunA2(cfg Config) (*harness.Report, error) {
 		},
 	}
 
-	// The (slowness, patience) grid is one batch; rows are emitted in
-	// grid order from the in-order results.
-	horizon := 400 * famSize
-	type a2cell struct {
-		delay, patience int
-		u               *universal.CompactUser
-	}
-	cells := make([]*a2cell, 0, len(delays)*len(patiences))
-	trials := make([]system.Trial, 0, len(delays)*len(patiences))
-	for _, delay := range delays {
-		for _, patience := range patiences {
-			cell := &a2cell{delay: delay, patience: patience}
-			cells = append(cells, cell)
-			trials = append(trials, system.Trial{
-				User: func() (comm.Strategy, error) {
-					u, err := universal.NewCompactUser(transfer.Enum(fam), transfer.Sense(patience))
-					cell.u = u
-					return u, err
-				},
-				Server: func() comm.Strategy {
-					return server.Slow(
-						server.Dialected(&transfer.Server{}, fam.Dialect(serverIdx)), delay)
-				},
-				World:  func() goal.World { return g.NewWorld(goal.Env{}) },
-				Config: system.Config{MaxRounds: horizon, Seed: cfg.seed()},
-			})
-		}
-	}
-	results, err := system.RunBatch(trials, cfg.batch())
+	_, err = m.Sweep(nil, scenario.SweepConfig{
+		Parallel: cfg.Parallel,
+		SeedFn:   func(*scenario.Scenario, int) uint64 { return cfg.seed() },
+		OnStats: func(st *scenario.Stats) error {
+			if st.Errors > 0 {
+				return fmt.Errorf("%s: %d trials failed (first: %s)", st.ID, st.Errors, st.FirstError)
+			}
+			delay, err := st.AxisInt("slow")
+			if err != nil {
+				return err
+			}
+			patience, err := st.AxisInt("patience")
+			if err != nil {
+				return err
+			}
+			achieved := st.Successes == st.Trials
+			converged := "-"
+			if achieved {
+				converged = harness.I(int(st.Rounds.Max))
+			}
+			tbl.AddRow(
+				harness.I(delay),
+				harness.I(patience),
+				yesNo(achieved),
+				converged,
+				harness.I(int(st.MeanSwitches)),
+			)
+			return nil
+		},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("A2: %w", err)
-	}
-
-	for i, cell := range cells {
-		res := results[i]
-		achieved := goal.CompactAchieved(g, res.History, 10)
-		converged := "-"
-		if achieved {
-			converged = harness.I(goal.LastUnacceptable(g, res.History))
-		}
-		tbl.AddRow(
-			harness.I(cell.delay),
-			harness.I(cell.patience),
-			yesNo(achieved),
-			converged,
-			harness.I(cell.u.Switches()),
-		)
 	}
 	return &harness.Report{Tables: []*harness.Table{tbl}}, nil
 }

@@ -3,20 +3,19 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/comm"
-	"repro/internal/dialect"
-	"repro/internal/goal"
-	"repro/internal/goals/transfer"
 	"repro/internal/harness"
-	"repro/internal/server"
-	"repro/internal/system"
-	"repro/internal/universal"
+	"repro/internal/scenario"
 )
 
 // RunA4 measures robustness to message loss on the transfer goal: a
 // forgiving goal plus retransmitting candidates tolerates a lossy server —
 // the convergence time stretches smoothly with the drop probability
 // instead of failing, provided sensing patience covers the loss streaks.
+//
+// The grid is a scenario spec — one noise axis over the worst-case
+// transfer scenario — swept through the streaming executor; the legacy
+// per-trial seeds are preserved via SeedFn so the table is identical to
+// the historical bespoke loop.
 func RunA4(cfg Config) (*harness.Report, error) {
 	famSize := 8
 	chunks := 8
@@ -28,14 +27,27 @@ func RunA4(cfg Config) (*harness.Report, error) {
 		drops = []float64{0, 0.3}
 		trials = 3
 	}
+	serverIdx := famSize - 1
+	patience := 24
 
-	fam, err := dialect.NewWordFamily(transfer.Vocabulary(), famSize)
+	spec := &scenario.Spec{
+		Name: "a4-noise",
+		Axes: []scenario.Axis{
+			{Name: "goal", Values: []string{"transfer"}},
+			{Name: "class", Values: scenario.Ints(famSize)},
+			{Name: "server", Values: scenario.Ints(serverIdx)},
+			{Name: "param", Values: scenario.Ints(chunks)},
+			{Name: "patience", Values: scenario.Ints(patience)},
+			{Name: "rounds", Values: scenario.Ints(6000)},
+			{Name: "noise", Values: scenario.Floats(drops...)},
+		},
+		Seeds:  trials,
+		Window: 10,
+	}
+	m, err := scenario.NewMatrix(spec)
 	if err != nil {
 		return nil, fmt.Errorf("A4: %w", err)
 	}
-	g := &transfer.Goal{K: chunks}
-	serverIdx := famSize - 1
-	patience := 24
 
 	tbl := &harness.Table{
 		ID:      "A4",
@@ -48,42 +60,31 @@ func RunA4(cfg Config) (*harness.Report, error) {
 		},
 	}
 
-	for _, p := range drops {
-		batch := make([]system.Trial, trials)
-		for trial := 0; trial < trials; trial++ {
-			batch[trial] = system.Trial{
-				User: func() (comm.Strategy, error) {
-					return universal.NewCompactUser(transfer.Enum(fam), transfer.Sense(patience))
-				},
-				Server: func() comm.Strategy {
-					return server.Noisy(server.Dialected(&transfer.Server{}, fam.Dialect(serverIdx)), p)
-				},
-				World: func() goal.World { return g.NewWorld(goal.Env{}) },
-				Config: system.Config{
-					MaxRounds: 6000, Seed: cfg.seed() + uint64(trial)*31,
-				},
+	_, err = m.Sweep(nil, scenario.SweepConfig{
+		Parallel: cfg.Parallel,
+		SeedFn: func(_ *scenario.Scenario, trial int) uint64 {
+			return cfg.seed() + uint64(trial)*31
+		},
+		OnStats: func(st *scenario.Stats) error {
+			p, err := st.AxisFloat("noise")
+			if err != nil {
+				return err
 			}
-		}
-		results, err := system.RunBatch(batch, cfg.batch())
-		if err != nil {
-			return nil, fmt.Errorf("A4: p=%.1f: %w", p, err)
-		}
-
-		succ := 0
-		var rounds []float64
-		for _, res := range results {
-			if goal.CompactAchieved(g, res.History, 10) {
-				succ++
-				rounds = append(rounds, float64(goal.LastUnacceptable(g, res.History)))
+			if st.Errors > 0 {
+				return fmt.Errorf("p=%.1f: %d trials failed (first: %s)", p, st.Errors, st.FirstError)
 			}
-		}
-		tbl.AddRow(
-			fmt.Sprintf("%.1f", p),
-			harness.Percent(succ, trials),
-			harness.F(harness.Mean(rounds)),
-			harness.F(harness.Max(rounds)),
-			harness.F(harness.Stddev(rounds)),
-		)
+			tbl.AddRow(
+				fmt.Sprintf("%.1f", p),
+				harness.Percent(st.Successes, st.Trials),
+				harness.F(st.Rounds.Mean),
+				harness.F(st.Rounds.Max),
+				harness.F(st.Rounds.Stddev),
+			)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("A4: %w", err)
 	}
 	return &harness.Report{Tables: []*harness.Table{tbl}}, nil
 }

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/goal"
+	"repro/internal/goals/transfer"
+	"repro/internal/harness"
+	"repro/internal/server"
+	"repro/internal/system"
+	"repro/internal/universal"
+)
+
+// bespokeA4 is the historical hand-coded A4 grid — one loop per drop
+// probability, full history recording, classical CompactAchieved /
+// LastUnacceptable evaluation. It is the reference the scenario-spec
+// encoding in RunA4 must reproduce exactly.
+func bespokeA4(cfg Config) (*harness.Report, error) {
+	famSize := 8
+	chunks := 8
+	drops := []float64{0, 0.1, 0.3, 0.5}
+	trials := 5
+	if cfg.Quick {
+		famSize = 4
+		chunks = 4
+		drops = []float64{0, 0.3}
+		trials = 3
+	}
+
+	fam, err := dialect.NewWordFamily(transfer.Vocabulary(), famSize)
+	if err != nil {
+		return nil, err
+	}
+	g := &transfer.Goal{K: chunks}
+	serverIdx := famSize - 1
+	patience := 24
+
+	tbl := &harness.Table{
+		ID:      "A4",
+		Title:   "transfer goal under message loss",
+		Columns: []string{"drop p", "success", "mean rounds", "max rounds", "stddev"},
+		Notes: []string{
+			fmt.Sprintf("K=%d chunks, class size %d, worst-case dialect %d, patience %d, %d trials",
+				chunks, famSize, serverIdx, patience, trials),
+			"forgiving goal + round-robin retransmission: loss slows convergence, never dooms it",
+		},
+	}
+
+	for _, p := range drops {
+		batch := make([]system.Trial, trials)
+		for trial := 0; trial < trials; trial++ {
+			batch[trial] = system.Trial{
+				User: func() (comm.Strategy, error) {
+					return universal.NewCompactUser(transfer.Enum(fam), transfer.Sense(patience))
+				},
+				Server: func() comm.Strategy {
+					return server.Noisy(server.Dialected(&transfer.Server{}, fam.Dialect(serverIdx)), p)
+				},
+				World: func() goal.World { return g.NewWorld(goal.Env{}) },
+				Config: system.Config{
+					MaxRounds: 6000, Seed: cfg.seed() + uint64(trial)*31,
+				},
+			}
+		}
+		results, err := system.RunBatch(batch, cfg.batch())
+		if err != nil {
+			return nil, err
+		}
+
+		succ := 0
+		var rounds []float64
+		for _, res := range results {
+			if goal.CompactAchieved(g, res.History, 10) {
+				succ++
+				rounds = append(rounds, float64(goal.LastUnacceptable(g, res.History)))
+			}
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%.1f", p),
+			harness.Percent(succ, trials),
+			harness.F(harness.Mean(rounds)),
+			harness.F(harness.Max(rounds)),
+			harness.F(harness.Stddev(rounds)),
+		)
+	}
+	return &harness.Report{Tables: []*harness.Table{tbl}}, nil
+}
+
+// bespokeA2 is the historical hand-coded A2 grid (quick scale in tests).
+func bespokeA2(cfg Config) (*harness.Report, error) {
+	famSize := 12
+	serverIdx := 9
+	chunks := 6
+	patiences := []int{2, 4, 8, 16}
+	delays := []int{0, 3, 6}
+	if cfg.Quick {
+		famSize = 6
+		serverIdx = 4
+		chunks = 4
+		patiences = []int{2, 8}
+		delays = []int{0, 3}
+	}
+
+	fam, err := dialect.NewWordFamily(transfer.Vocabulary(), famSize)
+	if err != nil {
+		return nil, err
+	}
+	g := &transfer.Goal{K: chunks}
+
+	tbl := &harness.Table{
+		ID:      "A2",
+		Title:   "sensing patience vs server slowness on the transfer goal",
+		Columns: []string{"slowness", "patience", "achieved", "converged round", "switches"},
+		Notes: []string{
+			fmt.Sprintf("class size %d, server dialect %d, K=%d chunks; progress latency = slowness + 3",
+				famSize, serverIdx, chunks),
+			"patience below the latency evicts the matching candidate between chunks → churn tax",
+			"the goal is forgiving, so achievement survives; efficiency is what patience buys",
+		},
+	}
+
+	horizon := 400 * famSize
+	type a2cell struct {
+		delay, patience int
+		u               *universal.CompactUser
+	}
+	cells := make([]*a2cell, 0, len(delays)*len(patiences))
+	trials := make([]system.Trial, 0, len(delays)*len(patiences))
+	for _, delay := range delays {
+		for _, patience := range patiences {
+			delay, patience := delay, patience
+			cell := &a2cell{delay: delay, patience: patience}
+			cells = append(cells, cell)
+			trials = append(trials, system.Trial{
+				User: func() (comm.Strategy, error) {
+					u, err := universal.NewCompactUser(transfer.Enum(fam), transfer.Sense(patience))
+					cell.u = u
+					return u, err
+				},
+				Server: func() comm.Strategy {
+					return server.Slow(
+						server.Dialected(&transfer.Server{}, fam.Dialect(serverIdx)), delay)
+				},
+				World:  func() goal.World { return g.NewWorld(goal.Env{}) },
+				Config: system.Config{MaxRounds: horizon, Seed: cfg.seed()},
+			})
+		}
+	}
+	results, err := system.RunBatch(trials, cfg.batch())
+	if err != nil {
+		return nil, err
+	}
+
+	for i, cell := range cells {
+		res := results[i]
+		achieved := goal.CompactAchieved(g, res.History, 10)
+		converged := "-"
+		if achieved {
+			converged = harness.I(goal.LastUnacceptable(g, res.History))
+		}
+		tbl.AddRow(
+			harness.I(cell.delay),
+			harness.I(cell.patience),
+			yesNo(achieved),
+			converged,
+			harness.I(cell.u.Switches()),
+		)
+	}
+	return &harness.Report{Tables: []*harness.Table{tbl}}, nil
+}
+
+func reportsEqual(t *testing.T, got, want *harness.Report, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		var g, w strings.Builder
+		_ = got.Render(&g)
+		_ = want.Render(&w)
+		t.Fatalf("%s: sweep-spec report differs from bespoke loop\n--- sweep ---\n%s\n--- bespoke ---\n%s",
+			label, g.String(), w.String())
+	}
+}
+
+// TestA4SweepSpecMatchesBespokeLoop is the PR's equivalence requirement:
+// the scenario spec encoding of the A4 noise grid reproduces the
+// historical bespoke loop's numbers exactly, at quick and full scale, and
+// is invariant under the sweep's parallelism.
+func TestA4SweepSpecMatchesBespokeLoop(t *testing.T) {
+	t.Parallel()
+
+	for _, quick := range []bool{true, false} {
+		cfg := Config{Quick: quick, Seed: 3, Parallel: 1}
+		want, err := bespokeA4(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := RunA4(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, serial, want, fmt.Sprintf("A4 quick=%v serial", quick))
+
+		cfg.Parallel = 8
+		parallel, err := RunA4(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, parallel, want, fmt.Sprintf("A4 quick=%v parallel", quick))
+	}
+}
+
+// TestA2SweepSpecMatchesBespokeLoop pins the second refactored grid the
+// same way at quick scale.
+func TestA2SweepSpecMatchesBespokeLoop(t *testing.T) {
+	t.Parallel()
+
+	cfg := Config{Quick: true, Seed: 7, Parallel: 1}
+	want, err := bespokeA2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 8} {
+		cfg.Parallel = par
+		got, err := RunA2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, got, want, fmt.Sprintf("A2 parallel=%d", par))
+	}
+}

@@ -3,13 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/comm"
-	"repro/internal/enumerate"
-	"repro/internal/goal"
-	"repro/internal/goals/treasure"
 	"repro/internal/harness"
-	"repro/internal/system"
-	"repro/internal/universal"
+	"repro/internal/scenario"
 )
 
 // RunT2 quantifies the paper's claim that the enumeration overhead is
@@ -17,6 +12,12 @@ import (
 // wrong-guess responses carry no information), the universal user's rounds
 // grow linearly in N — worst case ~N candidates, mean ~N/2 regardless of
 // enumeration order — while the oracle stays flat.
+//
+// Each class size is one scenario spec: the server axis sweeps every
+// secret in [0,N) and the user axis carries the three contenders (the
+// universal user, the same over a shuffled enumeration, and the oracle
+// candidate matching the secret). Rows aggregate each user's column over
+// the secret axis.
 func RunT2(cfg Config) (*harness.Report, error) {
 	sizes := []int{8, 16, 32, 64}
 	if cfg.Quick {
@@ -34,71 +35,76 @@ func RunT2(cfg Config) (*harness.Report, error) {
 		},
 	}
 
-	g := &treasure.Goal{}
-
-	// runSweep executes one trial per secret in [0, n) and returns the
-	// convergence rounds, requiring every secret to be found.
-	runSweep := func(name string, n, horizon int, mkUser func(secret int) (comm.Strategy, error)) ([]float64, error) {
-		trials := make([]system.Trial, n)
-		for secret := 0; secret < n; secret++ {
-			trials[secret] = system.Trial{
-				User:   func() (comm.Strategy, error) { return mkUser(secret) },
-				Server: func() comm.Strategy { return &treasure.Server{Secret: secret} },
-				World:  func() goal.World { return g.NewWorld(goal.Env{}) },
-				Config: system.Config{MaxRounds: horizon, Seed: cfg.seed()},
-			}
-		}
-		results, err := system.RunBatch(trials, cfg.batch())
-		if err != nil {
-			return nil, fmt.Errorf("T2: %s: %w", name, err)
-		}
-		all := make([]float64, n)
-		for secret, res := range results {
-			if !goal.CompactAchieved(g, res.History, 5) {
-				return nil, fmt.Errorf("T2: secret %d not found within %d rounds", secret, horizon)
-			}
-			all[secret] = float64(goal.LastUnacceptable(g, res.History))
-		}
-		return all, nil
+	users := []struct{ value, label string }{
+		{"universal", "universal(in order)"},
+		{fmt.Sprintf("shuffled:%d", cfg.seed()+13), "universal(shuffled)"},
+		{"oracle", "oracle"},
 	}
 
 	for _, n := range sizes {
 		horizon := 40 * n
-
-		type variant struct {
-			name string
-			mk   func() (enumerate.Enumerator, error)
+		secrets := make([]int, n)
+		for i := range secrets {
+			secrets[i] = i
 		}
-		variants := []variant{
-			{"universal(in order)", func() (enumerate.Enumerator, error) {
-				return treasure.Enum(n), nil
-			}},
-			{"universal(shuffled)", func() (enumerate.Enumerator, error) {
-				return enumerate.Shuffled(treasure.Enum(n), cfg.seed()+13)
-			}},
+		userValues := make([]string, len(users))
+		for i, u := range users {
+			userValues[i] = u.value
+		}
+		spec := &scenario.Spec{
+			Name: fmt.Sprintf("t2-overhead-%d", n),
+			Axes: []scenario.Axis{
+				{Name: "goal", Values: []string{"treasure"}},
+				{Name: "class", Values: scenario.Ints(n)},
+				{Name: "rounds", Values: scenario.Ints(horizon)},
+				{Name: "user", Values: userValues},
+				{Name: "server", Values: scenario.Ints(secrets...)},
+			},
+			Seeds:  1,
+			Window: 5,
+		}
+		m, err := scenario.NewMatrix(spec)
+		if err != nil {
+			return nil, fmt.Errorf("T2: %w", err)
 		}
 
-		for _, v := range variants {
-			all, err := runSweep(v.name, n, horizon, func(int) (comm.Strategy, error) {
-				enum, err := v.mk()
+		// The user axis varies slowest, so aggregates stream grouped by
+		// user with the secret axis in order within each group.
+		rounds := make(map[string][]float64, len(users))
+		_, err = m.Sweep(nil, scenario.SweepConfig{
+			Parallel: cfg.Parallel,
+			SeedFn:   func(*scenario.Scenario, int) uint64 { return cfg.seed() },
+			OnStats: func(st *scenario.Stats) error {
+				secret, err := st.AxisInt("server")
 				if err != nil {
-					return nil, err
+					return err
 				}
-				return universal.NewCompactUser(enum, treasure.Sense(0))
-			})
-			if err != nil {
-				return nil, err
-			}
-			tbl.AddRow(harness.I(n), v.name, harness.F(harness.Max(all)), harness.F(harness.Mean(all)))
-		}
-
-		oracleAll, err := runSweep("oracle", n, horizon, func(secret int) (comm.Strategy, error) {
-			return &treasure.Candidate{Guess: secret}, nil
+				user, ok := st.Axis("user")
+				if !ok {
+					return fmt.Errorf("aggregate %s has no user axis", st.ID)
+				}
+				if st.Errors > 0 {
+					return fmt.Errorf("secret %d: %d trials failed (first: %s)",
+						secret, st.Errors, st.FirstError)
+				}
+				if st.Successes != st.Trials {
+					return fmt.Errorf("secret %d not found within %d rounds", secret, horizon)
+				}
+				rounds[user] = append(rounds[user], st.Rounds.Mean)
+				return nil
+			},
 		})
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("T2: %w", err)
 		}
-		tbl.AddRow(harness.I(n), "oracle", harness.F(harness.Max(oracleAll)), harness.F(harness.Mean(oracleAll)))
+
+		for _, u := range users {
+			all := rounds[u.value]
+			if len(all) != n {
+				return nil, fmt.Errorf("T2: %s swept %d of %d secrets", u.label, len(all), n)
+			}
+			tbl.AddRow(harness.I(n), u.label, harness.F(harness.Max(all)), harness.F(harness.Mean(all)))
+		}
 	}
 
 	return &harness.Report{Tables: []*harness.Table{tbl}}, nil

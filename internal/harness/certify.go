@@ -80,12 +80,14 @@ func boundedSize(e enumerate.Enumerator) int {
 type Violation struct {
 	// Kind names the violated property ("safety", "viability",
 	// "helpfulness", "forgiving").
-	Kind string
+	Kind string `json:"kind"`
 	// Server and Env identify the failing configuration; Candidate is
 	// the strategy index where applicable (-1 otherwise).
-	Server, Env, Candidate int
+	Server    int `json:"server"`
+	Env       int `json:"env"`
+	Candidate int `json:"candidate"`
 	// Detail is a human-readable description.
-	Detail string
+	Detail string `json:"detail"`
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,27 @@
+package scenario
+
+import "testing"
+
+// BenchmarkSweep measures sweep throughput on the quick built-in matrix —
+// the number this PR's BENCH_sweep.json artifact tracks across commits.
+func BenchmarkSweep(b *testing.B) {
+	spec, err := BuiltinSpec("quick")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMatrix(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rounds int64
+	for i := 0; i < b.N; i++ {
+		sum, err := m.Sweep(nil, SweepConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += sum.TotalRounds
+	}
+	b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "rounds/s")
+}

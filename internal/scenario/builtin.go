@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BuiltinSpec returns a copy of the named built-in scenario spec.
+//
+//	default  the stock cross-product: every built-in goal crossed with
+//	         class sizes, best/worst/obstinate servers, noise levels,
+//	         slowness and sensing patience — 288 scenarios
+//	quick    a reduced slice of the same axes for smoke runs
+func BuiltinSpec(name string) (*Spec, error) {
+	switch name {
+	case "default":
+		return &Spec{
+			Name: "default",
+			Axes: []Axis{
+				{Name: "goal", Values: []string{"control", "printing", "transfer", "treasure"}},
+				{Name: "class", Values: Ints(4, 8)},
+				{Name: "server", Values: []string{"0", "-1", "obstinate"}},
+				{Name: "noise", Values: Floats(0, 0.1, 0.3)},
+				{Name: "slow", Values: Ints(0, 2)},
+				{Name: "patience", Values: Ints(0, 16)},
+				{Name: "rounds", Values: Ints(800)},
+			},
+			Seeds:    2,
+			BaseSeed: 1,
+			Window:   10,
+		}, nil
+	case "quick":
+		return &Spec{
+			Name: "quick",
+			Axes: []Axis{
+				{Name: "goal", Values: []string{"printing", "treasure"}},
+				{Name: "class", Values: Ints(4)},
+				{Name: "server", Values: []string{"0", "-1", "obstinate"}},
+				{Name: "noise", Values: Floats(0, 0.2)},
+				{Name: "rounds", Values: Ints(300)},
+			},
+			Seeds:    1,
+			BaseSeed: 1,
+			Window:   10,
+		}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown built-in spec %q (have: %v)", name, BuiltinSpecNames())
+	}
+}
+
+// BuiltinSpecNames lists the built-in spec names.
+func BuiltinSpecNames() []string {
+	names := []string{"default", "quick"}
+	sort.Strings(names)
+	return names
+}

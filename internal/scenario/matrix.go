@@ -1,0 +1,110 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Matrix is the lazy cross-product expansion of a Spec: scenarios are
+// decoded from their mixed-radix index on demand, so a Matrix over a huge
+// space is as cheap as one over a handful of points.
+type Matrix struct {
+	spec *Spec
+	size int64
+}
+
+// NewMatrix validates the spec and prepares its expansion.
+func NewMatrix(spec *Spec) (*Matrix, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	size := int64(1)
+	for _, ax := range spec.Axes {
+		n := int64(len(ax.Values))
+		if size > math.MaxInt64/n {
+			return nil, fmt.Errorf("scenario: spec %q cross-product overflows int64", spec.Name)
+		}
+		size *= n
+	}
+	return &Matrix{spec: spec, size: size}, nil
+}
+
+// Spec returns the spec the matrix expands.
+func (m *Matrix) Spec() *Spec { return m.spec }
+
+// Size returns the number of scenarios in the cross-product.
+func (m *Matrix) Size() int64 { return m.size }
+
+// At decodes the i-th scenario (0 ≤ i < Size). The first axis varies
+// slowest: index 0 assigns every axis its first value.
+func (m *Matrix) At(i int64) *Scenario {
+	if i < 0 || i >= m.size {
+		panic(fmt.Sprintf("scenario: index %d out of range [0,%d)", i, m.size))
+	}
+	sc := &Scenario{
+		Spec:   m.spec,
+		Index:  i,
+		Values: make([]AxisValue, len(m.spec.Axes)),
+	}
+	rem := i
+	for a := len(m.spec.Axes) - 1; a >= 0; a-- {
+		ax := &m.spec.Axes[a]
+		n := int64(len(ax.Values))
+		sc.Values[a] = AxisValue{Name: ax.Name, Value: ax.Values[rem%n]}
+		rem /= n
+	}
+	return sc
+}
+
+// Each enumerates every scenario in index order, stopping at the first
+// error from fn.
+func (m *Matrix) Each(fn func(*Scenario) error) error {
+	for i := int64(0); i < m.size; i++ {
+		if err := fn(m.At(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sample draws n distinct scenario indices uniformly without replacement,
+// deterministically per seed, returned in ascending order so sweeps over a
+// sample stream in enumeration order. When n ≥ Size every index is
+// returned. It uses Floyd's algorithm, so sampling a handful of points
+// from a billion-scenario space costs O(n), not O(Size).
+func (m *Matrix) Sample(n int, seed uint64) []int64 {
+	if int64(n) >= m.size {
+		all := make([]int64, m.size)
+		for i := range all {
+			all[i] = int64(i)
+		}
+		return all
+	}
+	if n <= 0 {
+		return nil
+	}
+	r := xrand.New(seed)
+	// intn draws from [0, bound) for int64 bounds; the modulo bias is
+	// ≤ bound/2^63, far below anything observable.
+	intn := func(bound int64) int64 {
+		return int64(r.Uint64() % uint64(bound))
+	}
+	chosen := make(map[int64]bool, n)
+	for j := m.size - int64(n); j < m.size; j++ {
+		t := intn(j + 1)
+		if chosen[t] {
+			chosen[j] = true
+		} else {
+			chosen[t] = true
+		}
+	}
+	out := make([]int64, 0, n)
+	for i := range chosen {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

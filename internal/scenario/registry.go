@@ -1,0 +1,298 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/enumerate"
+	"repro/internal/goal"
+	"repro/internal/goals/control"
+	"repro/internal/goals/printing"
+	"repro/internal/goals/transfer"
+	"repro/internal/goals/treasure"
+	"repro/internal/sensing"
+	"repro/internal/server"
+	"repro/internal/universal"
+)
+
+// The axes the registry interprets. A scenario using any other axis name
+// is rejected, so typos in specs fail loudly instead of silently running
+// the default.
+//
+//	goal      (required) registered goal name
+//	class     server class size (default 8)
+//	server    class member index, negative counts from the end
+//	          (default -1, the worst-case member), or "obstinate"
+//	param     goal-specific size: transfer chunk count, control span,
+//	          printing paper budget (default 0 = the goal's default)
+//	env       world environment choice (default 0)
+//	patience  sensing patience in rounds (default 0 = the goal's default)
+//	noise     per-message drop probability on the user channel (default 0)
+//	delay     reply delay in rounds (default 0)
+//	slow      whole-profile slowdown in rounds (default 0)
+//	user      "universal" (default), "shuffled:<seed>" for a universal
+//	          user over a shuffled enumeration, or "oracle" for the
+//	          candidate matching the server index
+//	rounds    execution horizon (default 0 = the engine default)
+var knownAxes = map[string]bool{
+	"goal": true, "class": true, "server": true, "param": true,
+	"env": true, "patience": true, "noise": true, "delay": true,
+	"slow": true, "user": true, "rounds": true,
+}
+
+// Axes holds the parsed values of the registry's common axes, handed to
+// goal builders so they construct families and sensing once.
+type Axes struct {
+	Class    int
+	Param    int
+	Patience int
+	Env      int
+	Rounds   int
+	Delay    int
+	Slow     int
+	Noise    float64
+	Server   string
+	User     string
+}
+
+// Parts is a goal builder's output: everything goal-specific the registry
+// needs to assemble a scenario's parties.
+type Parts struct {
+	// Goal is the compact goal instance.
+	Goal goal.CompactGoal
+
+	// Enum enumerates the candidate user strategies (stateless; shared
+	// across trials).
+	Enum enumerate.Enumerator
+
+	// Sense returns a fresh sensing function per call — senses are
+	// stateful and must not be shared across trials.
+	Sense func() sensing.Sense
+
+	// Member instantiates the i-th server class member (before the
+	// transform stack is applied).
+	Member func(i int) comm.Strategy
+}
+
+// Builder resolves the goal-specific parts of a scenario.
+type Builder func(ax Axes) (*Parts, error)
+
+// Binding is a scenario resolved into executable parties plus the
+// execution horizon. Factories are safe to call once per trial, from any
+// goroutine.
+type Binding struct {
+	Goal      goal.CompactGoal
+	User      func() (comm.Strategy, error)
+	Server    func() comm.Strategy
+	World     func() goal.World
+	MaxRounds int
+}
+
+// Registry maps goal names to builders.
+type Registry struct {
+	builders map[string]Builder
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{builders: make(map[string]Builder)}
+}
+
+// Register installs a builder for the named goal, replacing any previous
+// one.
+func (r *Registry) Register(name string, b Builder) {
+	r.builders[name] = b
+}
+
+// Builtin returns a fresh registry of the stock goals: printing, treasure,
+// transfer and control, each over its standard dialect class and stock
+// sensing function.
+func Builtin() *Registry {
+	r := NewRegistry()
+	r.Register("printing", func(ax Axes) (*Parts, error) {
+		fam, err := dialect.NewWordFamily(printing.Vocabulary(), ax.Class)
+		if err != nil {
+			return nil, err
+		}
+		return &Parts{
+			Goal:  &printing.Goal{Paper: ax.Param},
+			Enum:  printing.Enum(fam),
+			Sense: func() sensing.Sense { return printing.Sense(ax.Patience) },
+			Member: func(i int) comm.Strategy {
+				return server.Dialected(&printing.Server{}, fam.Dialect(i))
+			},
+		}, nil
+	})
+	r.Register("treasure", func(ax Axes) (*Parts, error) {
+		if ax.Param != 0 {
+			return nil, fmt.Errorf("treasure has no param axis (got %d)", ax.Param)
+		}
+		return &Parts{
+			Goal:  &treasure.Goal{},
+			Enum:  treasure.Enum(ax.Class),
+			Sense: func() sensing.Sense { return treasure.Sense(ax.Patience) },
+			Member: func(i int) comm.Strategy {
+				return &treasure.Server{Secret: i}
+			},
+		}, nil
+	})
+	r.Register("transfer", func(ax Axes) (*Parts, error) {
+		fam, err := dialect.NewWordFamily(transfer.Vocabulary(), ax.Class)
+		if err != nil {
+			return nil, err
+		}
+		return &Parts{
+			Goal:  &transfer.Goal{K: ax.Param},
+			Enum:  transfer.Enum(fam),
+			Sense: func() sensing.Sense { return transfer.Sense(ax.Patience) },
+			Member: func(i int) comm.Strategy {
+				return server.Dialected(&transfer.Server{}, fam.Dialect(i))
+			},
+		}, nil
+	})
+	r.Register("control", func(ax Axes) (*Parts, error) {
+		fam, err := control.NewUnitsFamily(ax.Class)
+		if err != nil {
+			return nil, err
+		}
+		return &Parts{
+			Goal:  &control.Goal{Span: ax.Param},
+			Enum:  control.Enum(fam),
+			Sense: func() sensing.Sense { return control.Sense(ax.Patience) },
+			Member: func(i int) comm.Strategy {
+				return server.Dialected(&control.Server{}, fam.Dialect(i))
+			},
+		}, nil
+	})
+	return r
+}
+
+// parseAxes extracts and validates the common axes of a scenario.
+func parseAxes(sc *Scenario) (Axes, error) {
+	var ax Axes
+	for _, av := range sc.Values {
+		if !knownAxes[av.Name] {
+			return ax, fmt.Errorf("scenario: unknown axis %q (known: goal class server param env patience noise delay slow user rounds)", av.Name)
+		}
+	}
+	var err error
+	if ax.Class, err = sc.Int("class", 8); err != nil {
+		return ax, err
+	}
+	if ax.Class < 1 {
+		return ax, fmt.Errorf("scenario: class size %d < 1", ax.Class)
+	}
+	if ax.Param, err = sc.Int("param", 0); err != nil {
+		return ax, err
+	}
+	if ax.Patience, err = sc.Int("patience", 0); err != nil {
+		return ax, err
+	}
+	if ax.Env, err = sc.Int("env", 0); err != nil {
+		return ax, err
+	}
+	if ax.Rounds, err = sc.Int("rounds", 0); err != nil {
+		return ax, err
+	}
+	if ax.Delay, err = sc.Int("delay", 0); err != nil {
+		return ax, err
+	}
+	if ax.Slow, err = sc.Int("slow", 0); err != nil {
+		return ax, err
+	}
+	if ax.Noise, err = sc.Float("noise", 0); err != nil {
+		return ax, err
+	}
+	if ax.Noise < 0 || ax.Noise > 1 {
+		return ax, fmt.Errorf("scenario: noise %g outside [0,1]", ax.Noise)
+	}
+	ax.Server = sc.Str("server", "-1")
+	ax.User = sc.Str("user", "universal")
+	return ax, nil
+}
+
+// Bind resolves a scenario into executable parties via the registered goal
+// builders.
+func (r *Registry) Bind(sc *Scenario) (*Binding, error) {
+	goalName, ok := sc.Get("goal")
+	if !ok {
+		return nil, fmt.Errorf("scenario: %s has no goal axis", sc.ID())
+	}
+	build, ok := r.builders[goalName]
+	if !ok {
+		return nil, fmt.Errorf("scenario: no builder registered for goal %q", goalName)
+	}
+	ax, err := parseAxes(sc)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := build(ax)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: goal %q: %w", goalName, err)
+	}
+
+	// Resolve the server: a class member index (negative counts from the
+	// end) wrapped in the declared transform stack, or the obstinate
+	// probe.
+	stack := server.StackSpec{Slow: ax.Slow, Delay: ax.Delay, Noise: ax.Noise}
+	memberIdx := -1
+	var mkServer func() comm.Strategy
+	if ax.Server == "obstinate" {
+		mkServer = func() comm.Strategy { return server.Stack(server.Obstinate(), stack) }
+	} else {
+		idx, err := strconv.Atoi(ax.Server)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: server %q is neither an index nor \"obstinate\"", ax.Server)
+		}
+		if idx < 0 {
+			idx += ax.Class
+		}
+		if idx < 0 || idx >= ax.Class {
+			return nil, fmt.Errorf("scenario: server index %s outside class of size %d", ax.Server, ax.Class)
+		}
+		memberIdx = idx
+		mkServer = func() comm.Strategy { return server.Stack(parts.Member(idx), stack) }
+	}
+
+	// Resolve the user strategy.
+	var mkUser func() (comm.Strategy, error)
+	switch {
+	case ax.User == "universal":
+		mkUser = func() (comm.Strategy, error) {
+			return universal.NewCompactUser(parts.Enum, parts.Sense())
+		}
+	case strings.HasPrefix(ax.User, "shuffled:"):
+		seed, err := strconv.ParseUint(ax.User[len("shuffled:"):], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: user %q: bad shuffle seed", ax.User)
+		}
+		mkUser = func() (comm.Strategy, error) {
+			enum, err := enumerate.Shuffled(parts.Enum, seed)
+			if err != nil {
+				return nil, err
+			}
+			return universal.NewCompactUser(enum, parts.Sense())
+		}
+	case ax.User == "oracle":
+		if memberIdx < 0 {
+			return nil, fmt.Errorf("scenario: oracle user needs an indexed server, not %q", ax.Server)
+		}
+		mkUser = func() (comm.Strategy, error) {
+			return parts.Enum.Strategy(memberIdx), nil
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown user %q (universal, shuffled:<seed>, oracle)", ax.User)
+	}
+
+	env := ax.Env
+	return &Binding{
+		Goal:      parts.Goal,
+		User:      mkUser,
+		Server:    mkServer,
+		World:     func() goal.World { return parts.Goal.NewWorld(goal.Env{Choice: env}) },
+		MaxRounds: ax.Rounds,
+	}, nil
+}

@@ -1,0 +1,126 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// AxisValue is one resolved (axis, value) coordinate of a scenario.
+type AxisValue struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Scenario is one point of a scenario space: a full assignment of a value
+// to every axis. Scenarios are decoded on demand from a Matrix index; the
+// identity of a scenario is its content (see ID), not its position.
+type Scenario struct {
+	// Spec is the space the scenario was drawn from.
+	Spec *Spec
+
+	// Index is the scenario's position in the spec's enumeration order.
+	Index int64
+
+	// Values are the resolved coordinates, in spec axis order.
+	Values []AxisValue
+}
+
+// findAxis looks a coordinate up by axis name.
+func findAxis(values []AxisValue, name string) (string, bool) {
+	for _, av := range values {
+		if av.Name == name {
+			return av.Value, true
+		}
+	}
+	return "", false
+}
+
+// Get returns the value assigned to the named axis.
+func (sc *Scenario) Get(name string) (string, bool) {
+	return findAxis(sc.Values, name)
+}
+
+// Str returns the named axis value, or def when the axis is absent.
+func (sc *Scenario) Str(name, def string) string {
+	if v, ok := sc.Get(name); ok {
+		return v
+	}
+	return def
+}
+
+// Int returns the named axis value parsed as an int, or def when the axis
+// is absent. A present but unparsable value is an error.
+func (sc *Scenario) Int(name string, def int) (int, error) {
+	v, ok := sc.Get(name)
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: axis %q: %q is not an int", name, v)
+	}
+	return n, nil
+}
+
+// Float returns the named axis value parsed as a float64, or def when the
+// axis is absent. A present but unparsable value is an error.
+func (sc *Scenario) Float(name string, def float64) (float64, error) {
+	v, ok := sc.Get(name)
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: axis %q: %q is not a float", name, v)
+	}
+	return f, nil
+}
+
+// Hash is the scenario's content hash: FNV-1a over the sorted,
+// length-prefixed "axis=value" coordinates. It is invariant under axis
+// reordering and under the scenario's position in any enumeration, so the
+// same configuration hashes identically across specs that merely permute
+// or extend value lists. The length prefixes make the encoding injective:
+// names or values containing the separator characters cannot collide with
+// a different coordinate assignment.
+func (sc *Scenario) Hash() uint64 {
+	keys := make([]string, len(sc.Values))
+	for i, av := range sc.Values {
+		keys[i] = fmt.Sprintf("%d:%s=%d:%s", len(av.Name), av.Name, len(av.Value), av.Value)
+	}
+	sort.Strings(keys)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= prime64
+		}
+		h ^= '\n'
+		h *= prime64
+	}
+	return h
+}
+
+// ID is the scenario's stable content-derived identifier: the goal axis
+// value (when present) plus the 16-hex-digit content hash. Two scenarios
+// share an ID iff they assign the same values to the same axes.
+func (sc *Scenario) ID() string {
+	if g, ok := sc.Get("goal"); ok {
+		return fmt.Sprintf("%s-%016x", g, sc.Hash())
+	}
+	return fmt.Sprintf("%016x", sc.Hash())
+}
+
+// String renders the scenario as its coordinates, for logs.
+func (sc *Scenario) String() string {
+	s := sc.ID()
+	for _, av := range sc.Values {
+		s += " " + av.Name + "=" + av.Value
+	}
+	return s
+}

@@ -1,0 +1,182 @@
+// Package scenario is the declarative scenario-space subsystem: it turns
+// hand-coded experiment grids into data.
+//
+// A Spec names the axes of a scenario space — goal and world parameters,
+// user strategy, the server transform stack (dialect class member, noise,
+// delay, slowness, the unhelpful probe), horizons — and a Matrix expands
+// their cross-product lazily: scenarios are decoded from an index on
+// demand, never materialized as a slice, so billion-point spaces cost
+// nothing to declare. Sample draws deterministic random subsets of huge
+// spaces; every expanded Scenario carries a stable content-derived ID that
+// does not depend on axis order or position in the enumeration.
+//
+// A Registry maps a scenario's axis values to concrete parties (the
+// built-in registry covers the stock goals and server transforms), and
+// Matrix.Sweep streams scenarios through the batch execution engine with
+// online per-scenario aggregation — success rate, rounds-to-success
+// distribution, message overhead — so sweeps never hold per-trial results.
+// Sweep output is byte-identical at every parallelism level.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Axis is one named dimension of a scenario space. Values are canonical
+// strings (see Ints and Floats for numeric axes); the value list order is
+// the axis's enumeration order.
+type Axis struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// Spec declares a scenario space as the cross-product of its axes. The
+// first axis varies slowest in enumeration order. Axis names must be
+// unique and every axis needs at least one value.
+type Spec struct {
+	// Name identifies the spec in reports and artifacts.
+	Name string `json:"name"`
+
+	// Axes are the dimensions of the space, in enumeration order.
+	Axes []Axis `json:"axes"`
+
+	// Seeds is the number of independent trials per scenario; 0 means 1.
+	Seeds int `json:"seeds,omitempty"`
+
+	// BaseSeed feeds per-trial seed derivation; 0 means 1.
+	BaseSeed uint64 `json:"baseSeed,omitempty"`
+
+	// Window is the convergence window compact-goal achievement is
+	// judged on; 0 means 10.
+	Window int `json:"window,omitempty"`
+}
+
+// Ints renders integer axis values in canonical form.
+func Ints(vs ...int) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = strconv.Itoa(v)
+	}
+	return out
+}
+
+// Floats renders float axis values in canonical (shortest round-trip)
+// form.
+func Floats(vs ...float64) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return out
+}
+
+// seeds returns the effective trial count per scenario.
+func (s *Spec) seeds() int {
+	if s.Seeds <= 0 {
+		return 1
+	}
+	return s.Seeds
+}
+
+// baseSeed returns the effective seed-derivation root.
+func (s *Spec) baseSeed() uint64 {
+	if s.BaseSeed == 0 {
+		return 1
+	}
+	return s.BaseSeed
+}
+
+// window returns the effective convergence window.
+func (s *Spec) window() int {
+	if s.Window <= 0 {
+		return 10
+	}
+	return s.Window
+}
+
+// axis returns the named axis, or nil.
+func (s *Spec) axis(name string) *Axis {
+	for i := range s.Axes {
+		if s.Axes[i].Name == name {
+			return &s.Axes[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks structural well-formedness: a name, at least one axis,
+// unique axis names, and no empty value lists.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec needs a name")
+	}
+	if len(s.Axes) == 0 {
+		return fmt.Errorf("scenario: spec %q has no axes", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Axes))
+	for _, ax := range s.Axes {
+		if ax.Name == "" {
+			return fmt.Errorf("scenario: spec %q has an unnamed axis", s.Name)
+		}
+		if seen[ax.Name] {
+			return fmt.Errorf("scenario: spec %q repeats axis %q", s.Name, ax.Name)
+		}
+		seen[ax.Name] = true
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("scenario: spec %q axis %q has no values", s.Name, ax.Name)
+		}
+		for _, v := range ax.Values {
+			if v == "" {
+				return fmt.Errorf("scenario: spec %q axis %q has an empty value", s.Name, ax.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Restrict narrows the named axis to the given values, preserving the
+// spec's value order. It errors if the axis does not exist, a value is not
+// on the axis, or the restriction would empty it.
+func (s *Spec) Restrict(name string, values ...string) error {
+	ax := s.axis(name)
+	if ax == nil {
+		return fmt.Errorf("scenario: spec %q has no axis %q", s.Name, name)
+	}
+	want := make(map[string]bool, len(values))
+	for _, v := range values {
+		want[v] = true
+	}
+	kept := make([]string, 0, len(values))
+	for _, v := range ax.Values {
+		if want[v] {
+			kept = append(kept, v)
+			delete(want, v)
+		}
+	}
+	for v := range want {
+		return fmt.Errorf("scenario: axis %q has no value %q", name, v)
+	}
+	if len(kept) == 0 {
+		return fmt.Errorf("scenario: restriction empties axis %q", name)
+	}
+	ax.Values = kept
+	return nil
+}
+
+// ReadSpec decodes a JSON spec and validates it. Unknown fields are
+// rejected so typos in hand-written specs fail loudly.
+func ReadSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: decode spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,374 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/comm"
+	"repro/internal/goal"
+	"repro/internal/harness"
+	"repro/internal/system"
+)
+
+// SweepConfig controls a streaming sweep over a matrix.
+type SweepConfig struct {
+	// Registry resolves scenarios into parties; nil means Builtin().
+	Registry *Registry
+
+	// Parallel bounds the engine worker pool; values < 1 mean
+	// GOMAXPROCS. Output is byte-identical at every setting.
+	Parallel int
+
+	// Seeds overrides the spec's per-scenario trial count when > 0.
+	Seeds int
+
+	// Window overrides the spec's convergence window when > 0.
+	Window int
+
+	// BaseSeed overrides the spec's seed-derivation root when nonzero.
+	BaseSeed uint64
+
+	// SeedFn overrides per-trial seed derivation entirely. The default
+	// derives each trial's seed from the base seed and the scenario's
+	// content hash, so a scenario's trials are identical no matter where
+	// (or whether) the scenario appears in an enumeration or sample.
+	SeedFn func(sc *Scenario, trial int) uint64
+
+	// ChunkTrials is how many trials are buffered per engine batch; 0
+	// means 256. Larger chunks amortize scheduling, smaller chunks
+	// reduce peak in-flight state.
+	ChunkTrials int
+
+	// OnStats, when non-nil, receives every scenario's aggregate in
+	// enumeration order as soon as its chunk completes. An error aborts
+	// the sweep. This is the streaming output path: a sweep never holds
+	// more than one chunk of per-trial state and never accumulates
+	// per-scenario stats itself.
+	OnStats func(st *Stats) error
+}
+
+// Dist summarizes a sample of rounds-to-success values.
+type Dist struct {
+	Mean   float64 `json:"mean"`
+	P50    float64 `json:"p50"`
+	P99    float64 `json:"p99"`
+	Max    float64 `json:"max"`
+	Stddev float64 `json:"stddev"`
+}
+
+// Stats is the online aggregate of one scenario's trials — the only
+// per-scenario state a sweep materializes.
+type Stats struct {
+	// ID is the scenario's stable content-derived identifier.
+	ID string `json:"id"`
+
+	// Axes are the scenario's coordinates, in spec axis order.
+	Axes []AxisValue `json:"axes"`
+
+	// Trials is the number of trials executed; Errors counts those that
+	// failed with an engine or construction error (excluded from every
+	// other aggregate) and FirstError carries the lowest-index failing
+	// trial's message.
+	Trials     int    `json:"trials"`
+	Errors     int    `json:"errors,omitempty"`
+	FirstError string `json:"firstError,omitempty"`
+
+	// Successes counts trials that achieved the goal: every prefix in
+	// the final window rounds acceptable. SuccessRate is Successes over
+	// Trials.
+	Successes   int     `json:"successes"`
+	SuccessRate float64 `json:"successRate"`
+
+	// Rounds summarizes rounds-to-success (the last unacceptable prefix
+	// length) over successful trials.
+	Rounds Dist `json:"roundsToSuccess"`
+
+	// MeanExecutedRounds is the mean execution length over all
+	// non-error trials.
+	MeanExecutedRounds float64 `json:"meanExecutedRounds"`
+
+	// MsgsPerRound is the message overhead: non-silent messages
+	// observed on the user's channels per executed round, totalled over
+	// non-error trials.
+	MsgsPerRound float64 `json:"msgsPerRound"`
+
+	// MeanSwitches is the mean candidate-eviction count for user
+	// strategies that report one (universal users), over non-error
+	// trials; 0 when the user strategy has no switch counter.
+	MeanSwitches float64 `json:"meanSwitches"`
+}
+
+// Axis returns the scenario coordinate the aggregate was computed for.
+func (st *Stats) Axis(name string) (string, bool) {
+	return findAxis(st.Axes, name)
+}
+
+// AxisInt returns the named coordinate parsed as an int; unlike the
+// Scenario accessors an absent axis is an error, since a consumer reading
+// an aggregate back expects the coordinate it asks for to exist.
+func (st *Stats) AxisInt(name string) (int, error) {
+	v, ok := st.Axis(name)
+	if !ok {
+		return 0, fmt.Errorf("scenario: aggregate %s has no %q axis", st.ID, name)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: aggregate %s axis %q: %q is not an int", st.ID, name, v)
+	}
+	return n, nil
+}
+
+// AxisFloat returns the named coordinate parsed as a float64; an absent
+// axis is an error.
+func (st *Stats) AxisFloat(name string) (float64, error) {
+	v, ok := st.Axis(name)
+	if !ok {
+		return 0, fmt.Errorf("scenario: aggregate %s has no %q axis", st.ID, name)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: aggregate %s axis %q: %q is not a float", st.ID, name, v)
+	}
+	return f, nil
+}
+
+// Summary totals a sweep.
+type Summary struct {
+	Spec        string  `json:"spec"`
+	Scenarios   int     `json:"scenarios"`
+	Trials      int     `json:"trials"`
+	Errors      int     `json:"errors"`
+	Successes   int     `json:"successes"`
+	SuccessRate float64 `json:"successRate"`
+	TotalRounds int64   `json:"totalRounds"`
+}
+
+// switcher is implemented by user strategies that count candidate
+// evictions (universal.CompactUser).
+type switcher interface{ Switches() int }
+
+// trialSlot tracks one trial online via Config.OnRound, replacing full
+// history recording: acceptability is judged round by round on a reusable
+// single-state history (valid for referees that judge a prefix by its
+// recent states — every stock goal, whose worlds serialize cumulative
+// state into each snapshot).
+type trialSlot struct {
+	g       goal.CompactGoal
+	user    comm.Strategy
+	scratch comm.History
+	rounds  int
+	lastBad int // largest prefix length the referee rejected
+	msgs    int
+}
+
+func (s *trialSlot) onRound(round int, rv comm.RoundView, state comm.WorldState) {
+	s.rounds = round + 1
+	if s.scratch.States == nil {
+		s.scratch.States = make([]comm.WorldState, 1)
+	}
+	s.scratch.States[0] = state
+	s.scratch.Dropped = round
+	if !s.g.Acceptable(s.scratch) {
+		s.lastBad = round + 1
+	}
+	if !rv.In.FromServer.Empty() {
+		s.msgs++
+	}
+	if !rv.In.FromWorld.Empty() {
+		s.msgs++
+	}
+	if !rv.Out.ToServer.Empty() {
+		s.msgs++
+	}
+	if !rv.Out.ToWorld.Empty() {
+		s.msgs++
+	}
+}
+
+// scenJob is one scenario's in-flight state within a chunk.
+type scenJob struct {
+	sc    *Scenario
+	slots []*trialSlot
+	base  int // index of the scenario's first trial within the chunk
+}
+
+// fold reduces a completed scenario's slots and per-trial errors into its
+// aggregate. Distribution statistics reuse the harness implementations, so
+// sweep numbers agree bit for bit with the hand-coded experiment tables.
+func (j *scenJob) fold(errs []error, window int) *Stats {
+	st := &Stats{
+		ID:     j.sc.ID(),
+		Axes:   j.sc.Values,
+		Trials: len(j.slots),
+	}
+	var conv []float64
+	var totalRounds, totalMsgs, totalSwitches int
+	counted := 0
+	for t, slot := range j.slots {
+		if err := errs[j.base+t]; err != nil {
+			st.Errors++
+			if st.FirstError == "" {
+				st.FirstError = err.Error()
+			}
+			continue
+		}
+		counted++
+		totalRounds += slot.rounds
+		totalMsgs += slot.msgs
+		if u, ok := slot.user.(switcher); ok {
+			totalSwitches += u.Switches()
+		}
+		if slot.rounds >= window && slot.lastBad <= slot.rounds-window {
+			st.Successes++
+			conv = append(conv, float64(slot.lastBad))
+		}
+	}
+	if st.Trials > 0 {
+		st.SuccessRate = float64(st.Successes) / float64(st.Trials)
+	}
+	st.Rounds = Dist{
+		Mean:   harness.Mean(conv),
+		P50:    harness.Percentile(conv, 50),
+		P99:    harness.Percentile(conv, 99),
+		Max:    harness.Max(conv),
+		Stddev: harness.Stddev(conv),
+	}
+	if counted > 0 {
+		st.MeanExecutedRounds = float64(totalRounds) / float64(counted)
+		st.MeanSwitches = float64(totalSwitches) / float64(counted)
+	}
+	if totalRounds > 0 {
+		st.MsgsPerRound = float64(totalMsgs) / float64(totalRounds)
+	}
+	return st
+}
+
+// Sweep streams the given scenario indices (nil means the whole matrix, in
+// enumeration order) through the batch execution engine. Scenarios are
+// buffered into chunks of trials, executed across the worker pool, folded
+// into per-scenario aggregates and emitted via cfg.OnStats — per-trial
+// results are released as soon as each chunk folds, so sweep memory is
+// bounded by the chunk size regardless of matrix size.
+//
+// Every aggregate is deterministic given the spec and seeds:
+// parallelism only changes wall-clock time, never a byte of output.
+func (m *Matrix) Sweep(indices []int64, cfg SweepConfig) (*Summary, error) {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = Builtin()
+	}
+	seeds := m.spec.seeds()
+	if cfg.Seeds > 0 {
+		seeds = cfg.Seeds
+	}
+	window := m.spec.window()
+	if cfg.Window > 0 {
+		window = cfg.Window
+	}
+	base := m.spec.baseSeed()
+	if cfg.BaseSeed != 0 {
+		base = cfg.BaseSeed
+	}
+	seedFn := cfg.SeedFn
+	if seedFn == nil {
+		seedFn = func(sc *Scenario, trial int) uint64 {
+			return system.DeriveSeed(base^sc.Hash(), trial)
+		}
+	}
+	chunkTrials := cfg.ChunkTrials
+	if chunkTrials <= 0 {
+		chunkTrials = 256
+	}
+
+	sum := &Summary{Spec: m.spec.Name}
+	var (
+		jobs   []*scenJob
+		trials []system.Trial
+	)
+
+	flush := func() error {
+		if len(trials) == 0 {
+			return nil
+		}
+		results, errs := system.RunEach(trials, system.BatchConfig{Parallelism: cfg.Parallel})
+		for _, res := range results {
+			system.ReleaseResult(res)
+		}
+		for _, job := range jobs {
+			st := job.fold(errs, window)
+			sum.Scenarios++
+			sum.Trials += st.Trials
+			sum.Errors += st.Errors
+			sum.Successes += st.Successes
+			for _, slot := range job.slots {
+				sum.TotalRounds += int64(slot.rounds)
+			}
+			if cfg.OnStats != nil {
+				if err := cfg.OnStats(st); err != nil {
+					return err
+				}
+			}
+		}
+		jobs = jobs[:0]
+		trials = trials[:0]
+		return nil
+	}
+
+	schedule := func(i int64) error {
+		sc := m.At(i)
+		bind, err := reg.Bind(sc)
+		if err != nil {
+			return err
+		}
+		job := &scenJob{sc: sc, slots: make([]*trialSlot, seeds), base: len(trials)}
+		for t := 0; t < seeds; t++ {
+			slot := &trialSlot{g: bind.Goal}
+			job.slots[t] = slot
+			mkUser := bind.User
+			trials = append(trials, system.Trial{
+				User: func() (comm.Strategy, error) {
+					u, err := mkUser()
+					slot.user = u
+					return u, err
+				},
+				Server: bind.Server,
+				World:  bind.World,
+				Config: system.Config{
+					MaxRounds: bind.MaxRounds,
+					Seed:      seedFn(sc, t),
+					Record:    system.RecordOff,
+					OnRound:   slot.onRound,
+				},
+			})
+		}
+		jobs = append(jobs, job)
+		if len(trials) >= chunkTrials {
+			return flush()
+		}
+		return nil
+	}
+
+	if indices == nil {
+		for i := int64(0); i < m.size; i++ {
+			if err := schedule(i); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, i := range indices {
+			if i < 0 || i >= m.size {
+				return nil, fmt.Errorf("scenario: sweep index %d out of range [0,%d)", i, m.size)
+			}
+			if err := schedule(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if sum.Trials > 0 {
+		sum.SuccessRate = float64(sum.Successes) / float64(sum.Trials)
+	}
+	return sum, nil
+}

@@ -1,0 +1,39 @@
+package server
+
+import "repro/internal/comm"
+
+// StackSpec declares a transform stack over a class member as data: which
+// wrappers to apply and with what parameters. Zero values mean "absent",
+// so the zero StackSpec is the identity.
+//
+// The declared order is fixed — Slow innermost, then Delayed, then Noisy
+// outermost — matching how the experiment grids compose them: slowness and
+// delay are properties of the server itself, while noise models the
+// channel in front of it.
+type StackSpec struct {
+	// Slow delays the server's entire output profile (replies and
+	// world-visible actions) by this many rounds; 0 applies no wrapper.
+	Slow int
+
+	// Delay delays only the server's replies to the user by this many
+	// rounds; 0 applies no wrapper.
+	Delay int
+
+	// Noise drops each user message independently with this
+	// probability; 0 applies no wrapper.
+	Noise float64
+}
+
+// Stack wraps a class member in the transforms the spec declares.
+func Stack(inner comm.Strategy, s StackSpec) comm.Strategy {
+	if s.Slow > 0 {
+		inner = Slow(inner, s.Slow)
+	}
+	if s.Delay > 0 {
+		inner = Delayed(inner, s.Delay)
+	}
+	if s.Noise > 0 {
+		inner = Noisy(inner, s.Noise)
+	}
+	return inner
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/xrand"
+)
+
+// echo replies to the user with whatever it received, immediately.
+type echo struct{}
+
+func (*echo) Reset(*xrand.Rand) {}
+func (*echo) Step(in comm.Inbox) (comm.Outbox, error) {
+	return comm.Outbox{ToUser: in.FromUser}, nil
+}
+
+func TestStackZeroIsIdentity(t *testing.T) {
+	t.Parallel()
+
+	inner := &echo{}
+	if got := Stack(inner, StackSpec{}); got != comm.Strategy(inner) {
+		t.Fatalf("zero StackSpec wrapped the server: %T", got)
+	}
+}
+
+func TestStackAppliesDeclaredTransforms(t *testing.T) {
+	t.Parallel()
+
+	s := Stack(&echo{}, StackSpec{Delay: 2})
+	s.Reset(xrand.New(1))
+	// A reply to the message sent in round 0 must surface 2 rounds late.
+	rounds := []comm.Message{"hello", "", "", ""}
+	var got []comm.Message
+	for _, m := range rounds {
+		out, err := s.Step(comm.Inbox{FromUser: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, out.ToUser)
+	}
+	want := []comm.Message{"", "", "hello", ""}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round %d reply %q, want %q (all: %q)", i, got[i], want[i], got)
+		}
+	}
+
+	// Noise 1 drops everything: the echo never sees a message.
+	n := Stack(&echo{}, StackSpec{Noise: 1})
+	n.Reset(xrand.New(1))
+	for i := 0; i < 4; i++ {
+		out, err := n.Step(comm.Inbox{FromUser: "ping"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.ToUser.Empty() {
+			t.Fatalf("round %d: message survived noise 1: %q", i, out.ToUser)
+		}
+	}
+}
