@@ -13,6 +13,11 @@
 //	goalsweep -builtin default -csv
 //	goalsweep -builtin quick -bench BENCH_sweep.json
 //	goalsweep -builtin default -list             # print scenarios, don't run
+//	goalsweep -builtin default -cache DIR        # skip already-stored scenarios
+//	goalsweep -builtin default -shard 2/3 -json -out shard-2.json
+//	goalsweep merge -json -out full.json shard-*.json
+//	goalsweep benchcmp old.json new.json         # throughput regression check
+//	goalsweep -builtin default -fingerprint      # print the sweep fingerprint
 //
 // Sweeps are deterministic per spec and seed: -parallel bounds the worker
 // pool without changing a byte of -json/-csv output, and every scenario
@@ -20,6 +25,16 @@
 // what a full enumeration would report for the same scenarios. -bench
 // additionally writes a small throughput artifact (the only output with
 // timings in it).
+//
+// The same determinism makes sweeps distributed-by-construction: -shard
+// i/n runs the i-th of n contiguous partitions of the selection (with
+// -json it emits a mergeable envelope), and "goalsweep merge" recombines
+// a complete set of envelopes into output byte-identical to the unsharded
+// run. -cache DIR keeps a content-addressed store of per-scenario
+// aggregates keyed by scenario ID, base seed, trials and window: hit
+// scenarios are emitted without executing a single trial, again
+// byte-identical; corrupted or foreign-version entries fall back to
+// re-execution.
 package main
 
 import (
@@ -29,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -38,7 +54,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "goalsweep:", err)
 		os.Exit(1)
 	}
@@ -53,23 +69,34 @@ func (f *filterFlags) Set(v string) error {
 	return nil
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (retErr error) {
+	if len(args) > 0 {
+		switch args[0] {
+		case "merge":
+			return runMerge(args[1:], stdout)
+		case "benchcmp":
+			return runBenchcmp(args[1:], stdout)
+		}
+	}
 	fs := flag.NewFlagSet("goalsweep", flag.ContinueOnError)
 	var (
-		specPath   = fs.String("spec", "", "JSON scenario spec file")
-		builtin    = fs.String("builtin", "", "built-in spec name (default, quick); ignored when -spec is set")
-		sample     = fs.Int("sample", 0, "sweep only a deterministic random subset of this many scenarios (0 = all)")
-		sampleSeed = fs.Uint64("sampleseed", 1, "seed for -sample subset selection")
-		parallel   = fs.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
-		seeds      = fs.Int("seeds", 0, "override the spec's trials per scenario (0 = spec value)")
-		window     = fs.Int("window", 0, "override the spec's convergence window (0 = spec value)")
-		baseSeed   = fs.Uint64("baseseed", 0, "override the spec's base seed (0 = spec value)")
-		jsonOut    = fs.Bool("json", false, "emit per-scenario aggregates and the summary as JSON")
-		csvOut     = fs.Bool("csv", false, "emit per-scenario aggregates as CSV")
-		list       = fs.Bool("list", false, "list the selected scenarios without executing them")
-		outPath    = fs.String("out", "", "write output to this file instead of stdout")
-		benchPath  = fs.String("bench", "", "also write a throughput artifact (JSON with timings) to this file")
-		filters    filterFlags
+		specPath    = fs.String("spec", "", "JSON scenario spec file")
+		builtin     = fs.String("builtin", "", "built-in spec name (default, quick); ignored when -spec is set")
+		sample      = fs.Int("sample", 0, "sweep only a deterministic random subset of this many scenarios (0 = all)")
+		sampleSeed  = fs.Uint64("sampleseed", 1, "seed for -sample subset selection")
+		parallel    = fs.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
+		seeds       = fs.Int("seeds", 0, "override the spec's trials per scenario (0 = spec value)")
+		window      = fs.Int("window", 0, "override the spec's convergence window (0 = spec value)")
+		baseSeed    = fs.Uint64("baseseed", 0, "override the spec's base seed (0 = spec value)")
+		jsonOut     = fs.Bool("json", false, "emit per-scenario aggregates and the summary as JSON")
+		csvOut      = fs.Bool("csv", false, "emit per-scenario aggregates as CSV")
+		list        = fs.Bool("list", false, "list the selected scenarios without executing them")
+		outPath     = fs.String("out", "", "write output to this file instead of stdout")
+		benchPath   = fs.String("bench", "", "also write a throughput artifact (JSON with timings) to this file")
+		shardSpec   = fs.String("shard", "", "run only shard i/n of the selection (1-based, e.g. 2/3); with -json, emits a mergeable shard envelope")
+		cacheDir    = fs.String("cache", "", "content-addressed result cache directory; stored scenarios skip execution, byte-identically")
+		fingerprint = fs.Bool("fingerprint", false, "print the sweep fingerprint (cache/merge identity) and exit without executing")
+		filters     filterFlags
 	)
 	fs.Var(&filters, "filter", "restrict an axis: axis=v1,v2 (repeatable)")
 	fs.SetOutput(stdout)
@@ -78,6 +105,20 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *jsonOut && *csvOut {
 		return fmt.Errorf("-json and -csv are mutually exclusive")
+	}
+	if *benchPath != "" && (*cacheDir != "" || *shardSpec != "") {
+		// A warm cache would divide unexecuted rounds by near-zero
+		// elapsed time, and a shard's throughput is not the sweep's;
+		// either artifact would poison benchcmp comparisons.
+		return fmt.Errorf("-bench measures fresh full-selection execution and cannot combine with -cache or -shard")
+	}
+	var shard scenario.Shard
+	sharded := *shardSpec != ""
+	if sharded {
+		var err error
+		if shard, err = scenario.ParseShard(*shardSpec); err != nil {
+			return err
+		}
 	}
 
 	spec, err := loadSpec(*specPath, *builtin)
@@ -98,43 +139,60 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	var indices []int64 // nil = the whole matrix
-	if *sample > 0 {
-		indices = m.Sample(*sample, *sampleSeed)
-	}
-	selected := m.Size()
-	if indices != nil {
-		selected = int64(len(indices))
-	}
-
-	out := stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return fmt.Errorf("create %s: %w", *outPath, err)
-		}
-		defer f.Close()
-		out = f
-	}
-
-	if *list {
-		return listScenarios(out, m, indices)
-	}
-
 	cfg := scenario.SweepConfig{
 		Parallel: *parallel,
 		Seeds:    *seeds,
 		Window:   *window,
 		BaseSeed: *baseSeed,
 	}
+	effSeeds, effWindow, effBase := cfg.Effective(spec)
+	// The CLI always binds through the stock registry.
+	fp := scenario.Fingerprint(spec, scenario.Builtin().Version(), effSeeds, effWindow, effBase, *sample, *sampleSeed)
+
+	out, closeOut, err := openOut(*outPath, stdout)
+	if err != nil {
+		return err
+	}
+	// A close error (write-back failure on -out) must surface: CI cmp's
+	// these artifacts byte for byte.
+	defer func() {
+		if cerr := closeOut(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+
+	if *fingerprint {
+		_, err := fmt.Fprintln(out, fp)
+		return err
+	}
+
+	var indices []int64 // nil = the whole matrix
+	if *sample > 0 {
+		indices = m.Sample(*sample, *sampleSeed)
+	}
+	if sharded {
+		indices = shard.Indices(m, indices)
+	}
+	selected := m.Size()
+	if indices != nil {
+		selected = int64(len(indices))
+	}
+
+	if *list {
+		return listScenarios(out, m, indices)
+	}
+
+	if *cacheDir != "" {
+		cache, err := scenario.OpenCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		cfg.Cache = cache
+	}
 
 	var stats []*scenario.Stats
-	var firstFailed *scenario.Stats
 	cfg.OnStats = func(st *scenario.Stats) error {
 		stats = append(stats, st)
-		if st.Errors > 0 && firstFailed == nil {
-			firstFailed = st
-		}
 		return nil
 	}
 	start := time.Now()
@@ -144,28 +202,207 @@ func run(args []string, stdout io.Writer) error {
 	}
 	elapsed := time.Since(start)
 
+	if *cacheDir != "" {
+		// Cache accounting goes to stderr so every report stream stays
+		// byte-identical between cold and warm runs.
+		fmt.Fprintf(stderr, "goalsweep: cache: %d hits, %d misses, %d trials executed\n",
+			sum.CacheHits, sum.CacheMisses, sum.ExecutedTrials)
+		if sum.CacheWriteError != nil {
+			fmt.Fprintf(stderr, "goalsweep: warning: result cache disabled mid-sweep (results unaffected): %v\n",
+				sum.CacheWriteError)
+		}
+	}
 	if *benchPath != "" {
 		if err := writeBench(*benchPath, sum, elapsed, *parallel); err != nil {
 			return err
 		}
 	}
 
-	switch {
-	case *jsonOut:
-		err = writeJSON(out, spec, sum, stats)
-	case *csvOut:
-		err = writeCSV(out, spec, stats)
-	default:
-		err = writeTable(out, m, spec, sum, stats, selected)
+	if *jsonOut && sharded {
+		sr := &scenario.ShardResult{
+			Version:     scenario.ShardFormatVersion,
+			Fingerprint: fp,
+			Spec:        spec,
+			Shard:       shard,
+			Scenarios:   stats,
+			Summary:     sum,
+		}
+		err = sr.Write(out)
+	} else {
+		err = renderReport(out, *jsonOut, *csvOut, m, spec, sum, stats, selected)
 	}
 	if err != nil {
 		return err
 	}
-	// Failing trials are data in the report above, but a sweep that could
-	// not execute everything must not exit 0.
-	if firstFailed != nil {
-		return fmt.Errorf("%d of %d trials failed (first: scenario %s: %s)",
-			sum.Errors, sum.Trials, firstFailed.ID, firstFailed.FirstError)
+	return trialFailures(sum, stats)
+}
+
+// openOut resolves -out: stdout, or a created file the caller closes.
+func openOut(outPath string, stdout io.Writer) (io.Writer, func() error, error) {
+	if outPath == "" {
+		return stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("create %s: %w", outPath, err)
+	}
+	return f, f.Close, nil
+}
+
+// renderReport writes the aggregates in the selected format. m may be
+// nil (merge mode); the table renderer then rebuilds the matrix from the
+// spec for its size header.
+func renderReport(out io.Writer, jsonOut, csvOut bool, m *scenario.Matrix,
+	spec *scenario.Spec, sum *scenario.Summary, stats []*scenario.Stats, selected int64) error {
+	switch {
+	case jsonOut:
+		return writeJSON(out, spec, sum, stats)
+	case csvOut:
+		return writeCSV(out, spec, stats)
+	default:
+		if m == nil {
+			var err error
+			if m, err = scenario.NewMatrix(spec); err != nil {
+				return err
+			}
+		}
+		return writeTable(out, m, spec, sum, stats, selected)
+	}
+}
+
+// trialFailures is the exit contract shared by sweeps and merges:
+// failing trials are data in the report, but a run that could not
+// execute everything must not exit 0.
+func trialFailures(sum *scenario.Summary, stats []*scenario.Stats) error {
+	if sum.Errors == 0 {
+		return nil
+	}
+	for _, st := range stats {
+		if st.Errors > 0 {
+			return fmt.Errorf("%d of %d trials failed (first: scenario %s: %s)",
+				sum.Errors, sum.Trials, st.ID, st.FirstError)
+		}
+	}
+	return nil
+}
+
+// runMerge recombines shard envelopes (goalsweep -shard i/n -json) into
+// the unsharded sweep's report: goalsweep merge [-json|-csv] [-out F]
+// shard1.json shard2.json ...
+func runMerge(args []string, stdout io.Writer) (retErr error) {
+	fs := flag.NewFlagSet("goalsweep merge", flag.ContinueOnError)
+	var (
+		jsonOut = fs.Bool("json", false, "emit the merged aggregates and summary as JSON")
+		csvOut  = fs.Bool("csv", false, "emit the merged aggregates as CSV")
+		outPath = fs.String("out", "", "write output to this file instead of stdout")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jsonOut && *csvOut {
+		return fmt.Errorf("-json and -csv are mutually exclusive")
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("merge needs shard result files (goalsweep -shard i/n -json output)")
+	}
+	var shards []*scenario.ShardResult
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		sr, err := scenario.ReadShardResult(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		shards = append(shards, sr)
+	}
+	stats, sum, err := scenario.MergeShards(shards)
+	if err != nil {
+		return err
+	}
+	out, closeOut, err := openOut(*outPath, stdout)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeOut(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	if err := renderReport(out, *jsonOut, *csvOut, nil, shards[0].Spec, sum, stats, int64(len(stats))); err != nil {
+		return err
+	}
+	return trialFailures(sum, stats)
+}
+
+// runBenchcmp compares two throughput artifacts (goalsweep -bench) and
+// fails when the fresh one regresses beyond the tolerance: goalsweep
+// benchcmp [-maxdrop F] baseline.json fresh.json
+func runBenchcmp(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("goalsweep benchcmp", flag.ContinueOnError)
+	maxDrop := fs.Float64("maxdrop", 0.5, "fail when roundsPerSec drops by more than this fraction of the baseline")
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) != 2 {
+		return fmt.Errorf("benchcmp needs exactly two artifacts: baseline.json fresh.json")
+	}
+	readBench := func(path string) (*harness.SweepBench, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var b harness.SweepBench
+		if err := json.Unmarshal(data, &b); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &b, nil
+	}
+	baseline, err := readBench(files[0])
+	if err != nil {
+		return err
+	}
+	fresh, err := readBench(files[1])
+	if err != nil {
+		return err
+	}
+	if baseline.Spec != fresh.Spec {
+		return fmt.Errorf("artifacts cover different specs: %q vs %q", baseline.Spec, fresh.Spec)
+	}
+	if baseline.Scenarios != fresh.Scenarios || baseline.Trials != fresh.Trials {
+		return fmt.Errorf("artifacts cover different workloads: %d scenarios/%d trials vs %d/%d — spec %q changed shape, refresh the baseline",
+			baseline.Scenarios, baseline.Trials, fresh.Scenarios, fresh.Trials, baseline.Spec)
+	}
+	if baseline.RoundsPerSec <= 0 {
+		return fmt.Errorf("%s has no roundsPerSec baseline", files[0])
+	}
+	if baseline.Parallel < 1 || fresh.Parallel < 1 {
+		return fmt.Errorf("artifact without effective parallelism (parallel %d vs %d) — regenerate with current goalsweep",
+			baseline.Parallel, fresh.Parallel)
+	}
+	// Artifacts from pools of different sizes are compared per worker,
+	// so a wider host cannot mask a per-core regression (nor a narrower
+	// one fake it). Same-size pools compare raw throughput.
+	baseRate, freshRate := baseline.RoundsPerSec, fresh.RoundsPerSec
+	unit := "roundsPerSec"
+	if baseline.Parallel != fresh.Parallel {
+		baseRate /= float64(baseline.Parallel)
+		freshRate /= float64(fresh.Parallel)
+		unit = "roundsPerSec/worker"
+	}
+	change := freshRate/baseRate - 1
+	fmt.Fprintf(stdout, "spec %q: %s %.0f -> %.0f (%+.1f%%), trialsPerSec %.0f -> %.0f, parallel %d -> %d\n",
+		baseline.Spec, unit, baseRate, freshRate, 100*change,
+		baseline.TrialsPerSec, fresh.TrialsPerSec, baseline.Parallel, fresh.Parallel)
+	if drop := -change; drop > *maxDrop {
+		return fmt.Errorf("%s regression: %.1f%% drop exceeds -maxdrop %.0f%%",
+			unit, 100*drop, 100**maxDrop)
 	}
 	return nil
 }
@@ -291,20 +528,15 @@ func writeTable(out io.Writer, m *scenario.Matrix, spec *scenario.Spec,
 }
 
 // writeBench writes the throughput artifact — deliberately the only
-// goalsweep output that contains timings.
+// goalsweep output that contains timings. A defaulted worker pool is
+// recorded as its effective size (GOMAXPROCS), not 0, so artifacts are
+// comparable across hosts.
 func writeBench(path string, sum *scenario.Summary, elapsed time.Duration, parallel int) error {
-	type bench struct {
-		Spec         string  `json:"spec"`
-		Scenarios    int     `json:"scenarios"`
-		Trials       int     `json:"trials"`
-		TotalRounds  int64   `json:"totalRounds"`
-		Parallel     int     `json:"parallel"`
-		ElapsedNs    int64   `json:"elapsedNs"`
-		TrialsPerSec float64 `json:"trialsPerSec"`
-		RoundsPerSec float64 `json:"roundsPerSec"`
+	if parallel < 1 {
+		parallel = runtime.GOMAXPROCS(0)
 	}
 	secs := elapsed.Seconds()
-	b := bench{
+	b := harness.SweepBench{
 		Spec:        sum.Spec,
 		Scenarios:   sum.Scenarios,
 		Trials:      sum.Trials,

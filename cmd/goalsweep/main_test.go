@@ -1,19 +1,32 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+
+	"io"
 	"os"
 	"path/filepath"
+	"repro/internal/harness"
 	"strings"
 	"testing"
 )
 
 func runSweep(t *testing.T, args ...string) string {
 	t.Helper()
-	var b strings.Builder
-	if err := run(args, &b); err != nil {
-		t.Fatalf("goalsweep %v: %v\n%s", args, err, b.String())
+	out, _ := runSweep2(t, args...)
+	return out
+}
+
+// runSweep2 also captures stderr (cache accounting).
+func runSweep2(t *testing.T, args ...string) (stdout, stderr string) {
+	t.Helper()
+	var b, e strings.Builder
+	if err := run(args, &b, &e); err != nil {
+		t.Fatalf("goalsweep %v: %v\n%s%s", args, err, b.String(), e.String())
 	}
-	return b.String()
+	return b.String(), e.String()
 }
 
 // TestJSONByteIdenticalAcrossParallelism is the PR's acceptance criterion:
@@ -110,10 +123,10 @@ func TestFilterRestrictsAxes(t *testing.T) {
 	}
 
 	var b strings.Builder
-	if err := run([]string{"-builtin", "quick", "-filter", "bogus"}, &b); err == nil {
+	if err := run([]string{"-builtin", "quick", "-filter", "bogus"}, &b, io.Discard); err == nil {
 		t.Fatal("malformed -filter accepted")
 	}
-	if err := run([]string{"-builtin", "quick", "-filter", "goal=nosuch"}, &b); err == nil {
+	if err := run([]string{"-builtin", "quick", "-filter", "goal=nosuch"}, &b, io.Discard); err == nil {
 		t.Fatal("-filter with unknown value accepted")
 	}
 }
@@ -148,7 +161,7 @@ func TestSpecFileAndOverrides(t *testing.T) {
 	}
 
 	var b strings.Builder
-	if err := run([]string{"-spec", filepath.Join(dir, "missing.json")}, &b); err == nil {
+	if err := run([]string{"-spec", filepath.Join(dir, "missing.json")}, &b, io.Discard); err == nil {
 		t.Fatal("missing spec file accepted")
 	}
 }
@@ -173,10 +186,256 @@ func TestMutuallyExclusiveOutputs(t *testing.T) {
 	t.Parallel()
 
 	var b strings.Builder
-	if err := run([]string{"-builtin", "quick", "-json", "-csv"}, &b); err == nil {
+	if err := run([]string{"-builtin", "quick", "-json", "-csv"}, &b, io.Discard); err == nil {
 		t.Fatal("-json -csv accepted together")
 	}
-	if err := run([]string{"-builtin", "nosuch"}, &b); err == nil {
+	if err := run([]string{"-builtin", "nosuch"}, &b, io.Discard); err == nil {
 		t.Fatal("unknown builtin accepted")
+	}
+	// A warm cache or a shard would make the throughput artifact lie.
+	if err := run([]string{"-builtin", "quick", "-bench", "b.json", "-cache", t.TempDir()}, &b, io.Discard); err == nil {
+		t.Fatal("-bench -cache accepted together")
+	}
+	if err := run([]string{"-builtin", "quick", "-bench", "b.json", "-shard", "1/2"}, &b, io.Discard); err == nil {
+		t.Fatal("-bench -shard accepted together")
+	}
+}
+
+// TestShardMergeByteIdentical is the CLI acceptance criterion for
+// sharding: shard envelopes produced by -shard i/n -json merge into
+// output byte-identical to a fresh unsharded -json run, at several shard
+// counts.
+func TestShardMergeByteIdentical(t *testing.T) {
+	t.Parallel()
+
+	full := runSweep(t, "-builtin", "quick", "-json")
+	dir := t.TempDir()
+	for _, count := range []int{1, 2, 3, 5} {
+		var files []string
+		for i := 1; i <= count; i++ {
+			path := filepath.Join(dir, fmt.Sprintf("c%d-s%d.json", count, i))
+			runSweep(t, "-builtin", "quick",
+				"-shard", fmt.Sprintf("%d/%d", i, count), "-json", "-out", path)
+			files = append(files, path)
+		}
+		// Merge in reverse order: envelope order must not matter.
+		for l, r := 0, len(files)-1; l < r; l, r = l+1, r-1 {
+			files[l], files[r] = files[r], files[l]
+		}
+		merged := runSweep(t, append([]string{"merge", "-json"}, files...)...)
+		if merged != full {
+			t.Fatalf("%d-way shard merge differs from unsharded -json run", count)
+		}
+	}
+}
+
+// TestShardMergeCSVAndTable checks the merged non-JSON renderings also
+// reproduce the unsharded output.
+func TestShardMergeCSVAndTable(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	var files []string
+	for i := 1; i <= 3; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("s%d.json", i))
+		runSweep(t, "-builtin", "quick", "-shard", fmt.Sprintf("%d/3", i), "-json", "-out", path)
+		files = append(files, path)
+	}
+	if got, want := runSweep(t, append([]string{"merge", "-csv"}, files...)...), runSweep(t, "-builtin", "quick", "-csv"); got != want {
+		t.Fatal("merged -csv differs from unsharded -csv")
+	}
+	if got, want := runSweep(t, append([]string{"merge"}, files...)...), runSweep(t, "-builtin", "quick"); got != want {
+		t.Fatalf("merged table differs from unsharded table:\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestShardSampleCompose checks -shard partitions the -sample selection.
+func TestShardSampleCompose(t *testing.T) {
+	t.Parallel()
+
+	full := runSweep(t, "-builtin", "default", "-sample", "9", "-sampleseed", "4", "-json")
+	dir := t.TempDir()
+	var files []string
+	for i := 1; i <= 2; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("s%d.json", i))
+		runSweep(t, "-builtin", "default", "-sample", "9", "-sampleseed", "4",
+			"-shard", fmt.Sprintf("%d/2", i), "-json", "-out", path)
+		files = append(files, path)
+	}
+	merged := runSweep(t, append([]string{"merge", "-json"}, files...)...)
+	if merged != full {
+		t.Fatal("sharded sampled sweep merge differs from unsharded sampled run")
+	}
+}
+
+func TestMergeRejectsMismatchedShards(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	s1 := filepath.Join(dir, "s1.json")
+	s2 := filepath.Join(dir, "s2.json")
+	runSweep(t, "-builtin", "quick", "-shard", "1/2", "-json", "-out", s1)
+	// Same shard coordinates, different sweep (seeds override).
+	runSweep(t, "-builtin", "quick", "-seeds", "2", "-shard", "2/2", "-json", "-out", s2)
+	var b strings.Builder
+	if err := run([]string{"merge", s1, s2}, &b, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "different sweeps") {
+		t.Fatalf("mismatched shards merged: %v", err)
+	}
+	if err := run([]string{"merge", s1, s1}, &b, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate shard merged: %v", err)
+	}
+	if err := run([]string{"merge", s1}, &b, io.Discard); err == nil {
+		t.Fatal("incomplete shard set merged")
+	}
+	if err := run([]string{"merge"}, &b, io.Discard); err == nil {
+		t.Fatal("merge with no files accepted")
+	}
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"merge", garbage}, &b, io.Discard); err == nil {
+		t.Fatal("garbage shard file accepted")
+	}
+}
+
+// TestCacheWarmRunByteIdentical is the CLI acceptance criterion for
+// caching: a warm -cache rerun emits byte-identical output and executes
+// zero trials.
+func TestCacheWarmRunByteIdentical(t *testing.T) {
+	t.Parallel()
+
+	plain := runSweep(t, "-builtin", "quick", "-json")
+	dir := filepath.Join(t.TempDir(), "store")
+	cold, coldErr := runSweep2(t, "-builtin", "quick", "-json", "-cache", dir)
+	if cold != plain {
+		t.Fatal("cold cached run differs from uncached run")
+	}
+	if !strings.Contains(coldErr, "cache: 0 hits, 12 misses, 12 trials executed") {
+		t.Fatalf("cold cache accounting wrong: %q", coldErr)
+	}
+	warm, warmErr := runSweep2(t, "-builtin", "quick", "-json", "-cache", dir)
+	if warm != plain {
+		t.Fatal("warm cached run differs from uncached run")
+	}
+	if !strings.Contains(warmErr, "cache: 12 hits, 0 misses, 0 trials executed") {
+		t.Fatalf("warm cache accounting wrong: %q", warmErr)
+	}
+	// Table and CSV renderings are warm-identical too.
+	if got, want := runSweep(t, "-builtin", "quick", "-csv", "-cache", dir), runSweep(t, "-builtin", "quick", "-csv"); got != want {
+		t.Fatal("warm cached -csv differs from uncached -csv")
+	}
+}
+
+func TestFingerprintFlag(t *testing.T) {
+	t.Parallel()
+
+	fp := strings.TrimSpace(runSweep(t, "-builtin", "quick", "-fingerprint"))
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint %q is not 16 hex digits", fp)
+	}
+	if again := strings.TrimSpace(runSweep(t, "-builtin", "quick", "-fingerprint")); again != fp {
+		t.Fatal("fingerprint unstable across invocations")
+	}
+	if other := strings.TrimSpace(runSweep(t, "-builtin", "quick", "-seeds", "3", "-fingerprint")); other == fp {
+		t.Fatal("-seeds override did not change the fingerprint")
+	}
+	if other := strings.TrimSpace(runSweep(t, "-builtin", "quick", "-filter", "goal=printing", "-fingerprint")); other == fp {
+		t.Fatal("-filter restriction did not change the fingerprint")
+	}
+}
+
+// TestBenchRecordsEffectiveParallelism pins the fix for bench artifacts
+// reporting "parallel": 0 when the pool defaults to GOMAXPROCS.
+func TestBenchRecordsEffectiveParallelism(t *testing.T) {
+	t.Parallel()
+
+	read := func(args ...string) harness.SweepBench {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "bench.json")
+		runSweep(t, append(args, "-bench", path, "-out", os.DevNull, "-json")...)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b harness.SweepBench
+		if err := json.Unmarshal(data, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if b := read("-builtin", "quick"); b.Parallel != runtime.GOMAXPROCS(0) {
+		t.Fatalf("defaulted pool recorded parallel=%d, want GOMAXPROCS=%d", b.Parallel, runtime.GOMAXPROCS(0))
+	}
+	if b := read("-builtin", "quick", "-parallel", "3"); b.Parallel != 3 {
+		t.Fatalf("explicit pool recorded parallel=%d, want 3", b.Parallel)
+	}
+}
+
+func TestBenchcmp(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	write := func(name string, b harness.SweepBench) string {
+		t.Helper()
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	mk := func(rps float64, parallel int) harness.SweepBench {
+		return harness.SweepBench{Spec: "default", Scenarios: 288, Trials: 576,
+			RoundsPerSec: rps, TrialsPerSec: rps / 1000, Parallel: parallel}
+	}
+	base := write("base.json", mk(1e6, 1))
+	ok := write("ok.json", mk(8e5, 1))
+	slow := write("slow.json", mk(4e5, 1))
+	other := write("other.json", harness.SweepBench{Spec: "quick", Scenarios: 12, Trials: 12, RoundsPerSec: 1e6, Parallel: 1})
+	reshaped := write("reshaped.json", harness.SweepBench{Spec: "default", Scenarios: 100, Trials: 200, RoundsPerSec: 1e6, Parallel: 1})
+	unparallel := write("unparallel.json", harness.SweepBench{Spec: "default", Scenarios: 288, Trials: 576, RoundsPerSec: 1e6})
+	// Twice the workers, same total throughput: per-worker rate halved.
+	wide := write("wide.json", mk(1e6, 2))
+
+	out := runSweep(t, "benchcmp", base, ok)
+	if !strings.Contains(out, "1000000 -> 800000") || !strings.Contains(out, "-20.0%") {
+		t.Fatalf("benchcmp output wrong: %q", out)
+	}
+	var b strings.Builder
+	if err := run([]string{"benchcmp", base, slow}, &b, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "regression") {
+		t.Fatalf("60%% drop passed the default gate: %v", err)
+	}
+	runSweep(t, "benchcmp", "-maxdrop", "0.7", base, slow) // loosened gate passes
+	// Pools of different sizes are compared per worker, so a wider host
+	// cannot mask a per-core regression.
+	out = runSweep(t, "benchcmp", "-maxdrop", "0.6", base, wide)
+	if !strings.Contains(out, "roundsPerSec/worker") || !strings.Contains(out, "-50.0%") {
+		t.Fatalf("per-worker normalization missing: %q", out)
+	}
+	if err := run([]string{"benchcmp", "-maxdrop", "0.4", base, wide}, &b, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "regression") {
+		t.Fatalf("halved per-worker rate passed a 40%% gate: %v", err)
+	}
+	if err := run([]string{"benchcmp", base, other}, &b, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "different specs") {
+		t.Fatalf("cross-spec comparison accepted: %v", err)
+	}
+	if err := run([]string{"benchcmp", base, reshaped}, &b, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "different workloads") {
+		t.Fatalf("reshaped-spec comparison accepted: %v", err)
+	}
+	if err := run([]string{"benchcmp", base, unparallel}, &b, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "parallelism") {
+		t.Fatalf("parallel=0 artifact accepted: %v", err)
+	}
+	if err := run([]string{"benchcmp", base}, &b, io.Discard); err == nil {
+		t.Fatal("benchcmp with one file accepted")
 	}
 }

@@ -13,6 +13,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/scenario"
 )
@@ -75,5 +76,60 @@ func run() error {
 	}
 	fmt.Printf("\nsummary: %d scenarios, %d trials, %d successes, %d total rounds\n",
 		sum.Scenarios, sum.Trials, sum.Successes, sum.TotalRounds)
+
+	// Sharding: content-derived IDs and seeds make sweeps
+	// distributed-by-construction. Each shard of an i/n partition can
+	// run in another process or on another host; merging the envelopes
+	// reproduces the unsharded sweep byte for byte.
+	seeds, window, base := scenario.SweepConfig{}.Effective(spec)
+	fp := scenario.Fingerprint(spec, scenario.Builtin().Version(), seeds, window, base, 0, 0)
+	var shards []*scenario.ShardResult
+	for i := 1; i <= 3; i++ {
+		sh := scenario.Shard{Index: i, Count: 3}
+		var stats []*scenario.Stats
+		shardSum, err := m.Sweep(sh.Indices(m, nil), scenario.SweepConfig{
+			OnStats: func(st *scenario.Stats) error {
+				stats = append(stats, st)
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		shards = append(shards, &scenario.ShardResult{
+			Version:     scenario.ShardFormatVersion,
+			Fingerprint: fp,
+			Spec:        spec,
+			Shard:       sh,
+			Scenarios:   stats,
+			Summary:     shardSum,
+		})
+	}
+	_, mergedSum, err := scenario.MergeShards(shards)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsharded 3 ways and merged: %d scenarios, %d trials (fingerprint %s)\n",
+		mergedSum.Scenarios, mergedSum.Trials, fp)
+
+	// Caching: a content-addressed store keyed by scenario ID + seed
+	// discipline lets a repeat sweep skip every unchanged scenario.
+	dir, err := os.MkdirTemp("", "sweep-cache-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cache, err := scenario.OpenCache(dir)
+	if err != nil {
+		return err
+	}
+	for _, label := range []string{"cold", "warm"} {
+		cachedSum, err := m.Sweep(nil, scenario.SweepConfig{Cache: cache})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s cached sweep: %d hits, %d misses, %d trials executed\n",
+			label, cachedSum.CacheHits, cachedSum.CacheMisses, cachedSum.ExecutedTrials)
+	}
 	return nil
 }

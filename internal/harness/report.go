@@ -16,6 +16,23 @@ type ServerVerdict struct {
 	Witness int  `json:"witness"`
 }
 
+// SweepBench is the sweep throughput artifact (goalsweep -bench):
+// deliberately the only sweep output with timings in it, so result
+// reports stay byte-diffable while performance is tracked separately
+// across commits. Parallel records the effective worker pool size (never
+// 0 — a defaulted pool records GOMAXPROCS), so artifacts are comparable
+// across hosts with different core counts.
+type SweepBench struct {
+	Spec         string  `json:"spec"`
+	Scenarios    int     `json:"scenarios"`
+	Trials       int     `json:"trials"`
+	TotalRounds  int64   `json:"totalRounds"`
+	Parallel     int     `json:"parallel"`
+	ElapsedNs    int64   `json:"elapsedNs"`
+	TrialsPerSec float64 `json:"trialsPerSec"`
+	RoundsPerSec float64 `json:"roundsPerSec"`
+}
+
 // CertReport is the machine-readable form of a certification run: the
 // helpfulness sweep over a server class plus the sensing function's safety
 // and viability verdicts. It is fully deterministic given the

@@ -94,6 +94,7 @@ type Binding struct {
 // Registry maps goal names to builders.
 type Registry struct {
 	builders map[string]Builder
+	version  string
 }
 
 // NewRegistry returns an empty registry.
@@ -102,10 +103,31 @@ func NewRegistry() *Registry {
 }
 
 // Register installs a builder for the named goal, replacing any previous
-// one.
+// one. Registering resets the registry's version to "" (uncacheable):
+// builders are code, so the registry cannot tell whether the change
+// preserves the meaning of previously stored aggregates — the caller
+// declares that with SetVersion.
 func (r *Registry) Register(name string, b Builder) {
 	r.builders[name] = b
+	r.version = ""
 }
+
+// Version identifies the registry's binding semantics for result caching
+// and sweep fingerprints. The empty string means unversioned: sweeps
+// still run, but bypass the cache, and fingerprints distinguish the
+// registry from every versioned one.
+func (r *Registry) Version() string { return r.version }
+
+// SetVersion declares the registry's binding semantics as a stable,
+// caller-owned identity, making its sweeps cacheable: aggregates are
+// stored and served under this version, and it is the caller's contract
+// to bump it whenever a registered builder's behavior changes —
+// otherwise a shared cache serves stale aggregates as fresh ones.
+func (r *Registry) SetVersion(v string) { r.version = v }
+
+// builtinVersion keys the stock registry's cache entries; bump it when
+// any builtin binding changes behavior.
+const builtinVersion = "builtin/1"
 
 // Builtin returns a fresh registry of the stock goals: printing, treasure,
 // transfer and control, each over its standard dialect class and stock
@@ -167,6 +189,8 @@ func Builtin() *Registry {
 			},
 		}, nil
 	})
+	// Set last: Register resets the version.
+	r.version = builtinVersion
 	return r
 }
 

@@ -77,6 +77,28 @@ func (sc *Scenario) Float(name string, def float64) (float64, error) {
 	return f, nil
 }
 
+// FNV-1a parameters shared by every content hash in the package
+// (scenario IDs, sweep fingerprints, cache entry addresses).
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// fnv1a folds s into a running 64-bit FNV-1a hash.
+func fnv1a(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// fnv1aLine folds s plus a terminating newline, so consecutive fields
+// cannot collide by shifting bytes across their boundary.
+func fnv1aLine(h uint64, s string) uint64 {
+	return fnv1a(fnv1a(h, s), "\n")
+}
+
 // Hash is the scenario's content hash: FNV-1a over the sorted,
 // length-prefixed "axis=value" coordinates. It is invariant under axis
 // reordering and under the scenario's position in any enumeration, so the
@@ -90,18 +112,9 @@ func (sc *Scenario) Hash() uint64 {
 		keys[i] = fmt.Sprintf("%d:%s=%d:%s", len(av.Name), av.Name, len(av.Value), av.Value)
 	}
 	sort.Strings(keys)
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
 	h := uint64(offset64)
 	for _, k := range keys {
-		for i := 0; i < len(k); i++ {
-			h ^= uint64(k[i])
-			h *= prime64
-		}
-		h ^= '\n'
-		h *= prime64
+		h = fnv1aLine(h, k)
 	}
 	return h
 }

@@ -39,12 +39,45 @@ type SweepConfig struct {
 	// reduce peak in-flight state.
 	ChunkTrials int
 
+	// Cache, when non-nil, is consulted before a scenario is scheduled
+	// and updated after it executes: scenarios whose aggregates are
+	// already stored under the sweep's (registry version, base seed,
+	// seeds, window) key are emitted without running a single trial,
+	// byte-identical to a fresh execution. The cache is bypassed when
+	// SeedFn is set (stored aggregates are keyed by the default
+	// content-derived seed derivation) and when the registry is
+	// unversioned (see Registry.SetVersion — without a declared
+	// identity, entries from registries binding the same axes
+	// differently would be indistinguishable); scenarios with trial
+	// errors are never stored, so transient failures are retried on the
+	// next run.
+	Cache *Cache
+
 	// OnStats, when non-nil, receives every scenario's aggregate in
 	// enumeration order as soon as its chunk completes. An error aborts
 	// the sweep. This is the streaming output path: a sweep never holds
 	// more than one chunk of per-trial state and never accumulates
 	// per-scenario stats itself.
 	OnStats func(st *Stats) error
+}
+
+// Effective resolves the sweep parameters the config would use against
+// the spec's defaults — the values cache keys and shard fingerprints are
+// derived from.
+func (cfg SweepConfig) Effective(spec *Spec) (seeds, window int, baseSeed uint64) {
+	seeds = spec.seeds()
+	if cfg.Seeds > 0 {
+		seeds = cfg.Seeds
+	}
+	window = spec.window()
+	if cfg.Window > 0 {
+		window = cfg.Window
+	}
+	baseSeed = spec.baseSeed()
+	if cfg.BaseSeed != 0 {
+		baseSeed = cfg.BaseSeed
+	}
+	return seeds, window, baseSeed
 }
 
 // Dist summarizes a sample of rounds-to-success values.
@@ -86,6 +119,13 @@ type Stats struct {
 	// MeanExecutedRounds is the mean execution length over all
 	// non-error trials.
 	MeanExecutedRounds float64 `json:"meanExecutedRounds"`
+
+	// ExecutedRounds is the total number of rounds executed across all
+	// trials, errored ones included — the scenario's exact contribution
+	// to the sweep summary's TotalRounds, carried here so cached and
+	// shard-merged summaries reproduce a fresh run's totals bit for
+	// bit.
+	ExecutedRounds int64 `json:"executedRounds"`
 
 	// MsgsPerRound is the message overhead: non-silent messages
 	// observed on the user's channels per executed round, totalled over
@@ -141,6 +181,20 @@ type Summary struct {
 	Successes   int     `json:"successes"`
 	SuccessRate float64 `json:"successRate"`
 	TotalRounds int64   `json:"totalRounds"`
+
+	// Cache and execution accounting. Deliberately excluded from
+	// serialized output so warm-cache, sharded-and-merged and fresh
+	// serial runs stay byte-identical; they exist for observability and
+	// tests. Trials above always counts what the aggregates cover;
+	// ExecutedTrials counts what this run actually ran. CacheWriteError
+	// records the first failed store write: like every other cache
+	// problem it degrades (the store is disabled for the rest of the
+	// sweep) instead of aborting, because the report is still exact —
+	// only the next run's warm-up is lost.
+	CacheHits       int   `json:"-"`
+	CacheMisses     int   `json:"-"`
+	ExecutedTrials  int   `json:"-"`
+	CacheWriteError error `json:"-"`
 }
 
 // switcher is implemented by user strategies that count candidate
@@ -185,11 +239,14 @@ func (s *trialSlot) onRound(round int, rv comm.RoundView, state comm.WorldState)
 	}
 }
 
-// scenJob is one scenario's in-flight state within a chunk.
+// scenJob is one scenario's in-flight state within a chunk; a cache hit
+// carries its ready-made aggregate instead of trial slots, holding its
+// place in the emission order.
 type scenJob struct {
-	sc    *Scenario
-	slots []*trialSlot
-	base  int // index of the scenario's first trial within the chunk
+	sc     *Scenario
+	slots  []*trialSlot
+	base   int    // index of the scenario's first trial within the chunk
+	cached *Stats // non-nil for cache hits; no trials were scheduled
 }
 
 // fold reduces a completed scenario's slots and per-trial errors into its
@@ -205,6 +262,7 @@ func (j *scenJob) fold(errs []error, window int) *Stats {
 	var totalRounds, totalMsgs, totalSwitches int
 	counted := 0
 	for t, slot := range j.slots {
+		st.ExecutedRounds += int64(slot.rounds)
 		if err := errs[j.base+t]; err != nil {
 			st.Errors++
 			if st.FirstError == "" {
@@ -257,23 +315,24 @@ func (m *Matrix) Sweep(indices []int64, cfg SweepConfig) (*Summary, error) {
 	if reg == nil {
 		reg = Builtin()
 	}
-	seeds := m.spec.seeds()
-	if cfg.Seeds > 0 {
-		seeds = cfg.Seeds
-	}
-	window := m.spec.window()
-	if cfg.Window > 0 {
-		window = cfg.Window
-	}
-	base := m.spec.baseSeed()
-	if cfg.BaseSeed != 0 {
-		base = cfg.BaseSeed
-	}
+	seeds, window, base := cfg.Effective(m.spec)
 	seedFn := cfg.SeedFn
+	cache := cfg.Cache
 	if seedFn == nil {
 		seedFn = func(sc *Scenario, trial int) uint64 {
 			return system.DeriveSeed(base^sc.Hash(), trial)
 		}
+	} else {
+		// Cached aggregates are keyed by the default seed derivation; a
+		// custom SeedFn runs different trials, so the cache must not
+		// serve (or be fed) its results.
+		cache = nil
+	}
+	if reg.Version() == "" {
+		// An unversioned registry has no stable binding identity to key
+		// entries by; serving a shared store's aggregates here could
+		// return results computed under different semantics.
+		cache = nil
 	}
 	chunkTrials := cfg.ChunkTrials
 	if chunkTrials <= 0 {
@@ -287,22 +346,39 @@ func (m *Matrix) Sweep(indices []int64, cfg SweepConfig) (*Summary, error) {
 	)
 
 	flush := func() error {
-		if len(trials) == 0 {
+		if len(jobs) == 0 {
 			return nil
 		}
-		results, errs := system.RunEach(trials, system.BatchConfig{Parallelism: cfg.Parallel})
-		for _, res := range results {
-			system.ReleaseResult(res)
+		var errs []error
+		if len(trials) > 0 {
+			results, errList := system.RunEach(trials, system.BatchConfig{Parallelism: cfg.Parallel})
+			for _, res := range results {
+				system.ReleaseResult(res)
+			}
+			errs = errList
+			sum.ExecutedTrials += len(trials)
 		}
 		for _, job := range jobs {
-			st := job.fold(errs, window)
+			st := job.cached
+			if st == nil {
+				st = job.fold(errs, window)
+				if cache != nil && st.Errors == 0 {
+					key := Key{ScenarioID: st.ID, Registry: reg.Version(), BaseSeed: base, Seeds: seeds, Window: window}
+					if err := cache.Put(key, st); err != nil {
+						// An unwritable store (read-only dir, full
+						// disk) must not abort a sweep whose results
+						// are exact regardless: disable the cache and
+						// surface the failure in the accounting.
+						sum.CacheWriteError = err
+						cache = nil
+					}
+				}
+			}
 			sum.Scenarios++
 			sum.Trials += st.Trials
 			sum.Errors += st.Errors
 			sum.Successes += st.Successes
-			for _, slot := range job.slots {
-				sum.TotalRounds += int64(slot.rounds)
-			}
+			sum.TotalRounds += st.ExecutedRounds
 			if cfg.OnStats != nil {
 				if err := cfg.OnStats(st); err != nil {
 					return err
@@ -316,6 +392,18 @@ func (m *Matrix) Sweep(indices []int64, cfg SweepConfig) (*Summary, error) {
 
 	schedule := func(i int64) error {
 		sc := m.At(i)
+		if cache != nil {
+			key := Key{ScenarioID: sc.ID(), Registry: reg.Version(), BaseSeed: base, Seeds: seeds, Window: window}
+			if st, ok := cache.Get(key); ok {
+				sum.CacheHits++
+				jobs = append(jobs, &scenJob{sc: sc, cached: st})
+				if len(jobs) >= chunkTrials {
+					return flush()
+				}
+				return nil
+			}
+			sum.CacheMisses++
+		}
 		bind, err := reg.Bind(sc)
 		if err != nil {
 			return err
