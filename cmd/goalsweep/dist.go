@@ -1,0 +1,169 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/scenario"
+)
+
+// runServe is the coordinator side of a distributed sweep: goalsweep
+// serve -spec F|-builtin N -shards n -listen addr [...] plans the sweep,
+// leases shards to workers over HTTP until every envelope has been
+// submitted, then merges them and writes the ordinary report — output
+// byte-identical to an unsharded local run of the same sweep.
+func runServe(args []string, stdout, stderr io.Writer) (retErr error) {
+	fs := flag.NewFlagSet("goalsweep serve", flag.ContinueOnError)
+	var (
+		specPath     = fs.String("spec", "", "JSON scenario spec file")
+		builtin      = fs.String("builtin", "", "built-in spec name (default, quick); ignored when -spec is set")
+		shards       = fs.Int("shards", 2, "how many work units to partition the selection into")
+		listen       = fs.String("listen", "127.0.0.1:0", "coordinator listen address (host:port; port 0 picks one)")
+		leaseTimeout = fs.Duration("lease-timeout", 2*time.Minute, "re-issue a shard when its worker has neither submitted nor renewed within this long (workers renew at a third of it while computing)")
+		linger       = fs.Duration("linger", 2*time.Second, "after the last shard lands, keep serving this long so polling workers hear the sweep is done")
+		sample       = fs.Int("sample", 0, "sweep only a deterministic random subset of this many scenarios (0 = all)")
+		sampleSeed   = fs.Uint64("sampleseed", 1, "seed for -sample subset selection")
+		seeds        = fs.Int("seeds", 0, "override the spec's trials per scenario (0 = spec value)")
+		window       = fs.Int("window", 0, "override the spec's convergence window (0 = spec value)")
+		baseSeed     = fs.Uint64("baseseed", 0, "override the spec's base seed (0 = spec value)")
+		jsonOut      = fs.Bool("json", false, "emit the merged aggregates and summary as JSON")
+		csvOut       = fs.Bool("csv", false, "emit the merged aggregates as CSV")
+		outPath      = fs.String("out", "", "write output to this file instead of stdout")
+		benchPath    = fs.String("bench", "", "also write a throughput artifact (JSON with timings and the worker count) to this file; skipped with a warning if workers served trials from a warm cache")
+		filters      filterFlags
+	)
+	fs.Var(&filters, "filter", "restrict an axis: axis=v1,v2 (repeatable)")
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jsonOut && *csvOut {
+		return fmt.Errorf("-json and -csv are mutually exclusive")
+	}
+	spec, err := resolveSpec(*specPath, *builtin, filters)
+	if err != nil {
+		return err
+	}
+	cfg := scenario.SweepConfig{Seeds: *seeds, Window: *window, BaseSeed: *baseSeed}
+	// The CLI always binds through the stock registry, on both sides of
+	// the protocol; workers re-derive the fingerprint from their own
+	// binary and refuse a skewed plan.
+	plan, err := dist.NewPlan(spec, scenario.Builtin().Version(), cfg, *shards, *sample, *sampleSeed)
+	if err != nil {
+		return err
+	}
+	coord, err := dist.NewCoordinator(plan, dist.CoordinatorConfig{LeaseTTL: *leaseTimeout, Log: stderr})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	// The serving line is the startup handshake for scripts (and tests):
+	// it carries the resolved address when the port was 0.
+	fmt.Fprintf(stderr, "goalsweep: serving %d shards of spec %q (fingerprint %s) at http://%s\n",
+		plan.Shards, spec.Name, plan.Fingerprint, ln.Addr())
+	srv := &http.Server{Handler: coord}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	start := time.Now()
+	if err := coord.Wait(context.Background()); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	// Let live workers hear StatusDone before the listener goes away;
+	// crashed workers never drain, so this is deadline-bounded.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *linger)
+	coord.WaitDrained(drainCtx)
+	cancel()
+	stats, sum, err := coord.Merged()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "goalsweep: distributed sweep complete: %d shards from %d workers in %v\n",
+		plan.Shards, coord.Workers(), elapsed.Round(time.Millisecond))
+	if *benchPath != "" {
+		// Mirror the local CLI's -bench/-cache refusal: if the fleet
+		// served scenarios from warm caches (or a worker did not report
+		// its executed-trial count), the artifact would divide all rounds
+		// by a fraction of the work and poison benchcmp gates. Skip it
+		// loudly instead of writing a lie.
+		executed, known := coord.ExecutedTrials()
+		if !known || executed != int64(sum.Trials) {
+			fmt.Fprintf(stderr, "goalsweep: warning: -bench artifact skipped: workers executed %d of %d trials (warm result cache?) — the artifact would lie about throughput\n",
+				executed, sum.Trials)
+		} else {
+			// The distributed artifact's effective parallelism is the
+			// fleet's: the sum of the submitting workers' trial pools.
+			submitters, totalParallel := coord.Submitters()
+			if err := writeBench(*benchPath, sum, elapsed, totalParallel, submitters); err != nil {
+				return err
+			}
+		}
+	}
+
+	out, closeOut, err := openOut(*outPath, stdout)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeOut(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	if err := renderReport(out, *jsonOut, *csvOut, nil, spec, sum, stats, int64(len(stats))); err != nil {
+		return err
+	}
+	return trialFailures(sum, stats)
+}
+
+// runWork is the worker side: goalsweep work -coordinator URL pulls shard
+// leases, executes them through the ordinary local sweep (optionally
+// against a shared result cache) and submits the envelopes until the
+// coordinator reports the sweep complete.
+func runWork(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("goalsweep work", flag.ContinueOnError)
+	var (
+		coordinator = fs.String("coordinator", "", "coordinator base URL (http://host:port; required)")
+		cacheDir    = fs.String("cache", "", "content-addressed result cache directory, shareable between colocated workers")
+		parallel    = fs.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
+		poll        = fs.Duration("poll", 500*time.Millisecond, "backoff between lease attempts while all shards are claimed elsewhere")
+		id          = fs.String("id", "", "worker name in coordinator accounting (default derived from the process ID)")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coordinator == "" {
+		return fmt.Errorf("work needs -coordinator URL (the address goalsweep serve printed)")
+	}
+	w := &dist.Worker{
+		Coordinator: strings.TrimRight(*coordinator, "/"),
+		Parallel:    *parallel,
+		Poll:        *poll,
+		ID:          *id,
+		Log:         stderr,
+	}
+	if *cacheDir != "" {
+		cache, err := scenario.OpenCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		w.Cache = cache
+	}
+	n, err := w.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "goalsweep: worker completed %d shards\n", n)
+	return nil
+}

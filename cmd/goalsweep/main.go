@@ -18,6 +18,8 @@
 //	goalsweep merge -json -out full.json shard-*.json
 //	goalsweep benchcmp old.json new.json         # throughput regression check
 //	goalsweep -builtin default -fingerprint      # print the sweep fingerprint
+//	goalsweep serve -builtin default -shards 3 -listen :8077 -json -out report.json
+//	goalsweep work -coordinator http://host:8077 -cache DIR
 //
 // Sweeps are deterministic per spec and seed: -parallel bounds the worker
 // pool without changing a byte of -json/-csv output, and every scenario
@@ -30,7 +32,12 @@
 // i/n runs the i-th of n contiguous partitions of the selection (with
 // -json it emits a mergeable envelope), and "goalsweep merge" recombines
 // a complete set of envelopes into output byte-identical to the unsharded
-// run. -cache DIR keeps a content-addressed store of per-scenario
+// run. "goalsweep serve"/"goalsweep work" automate the same split as a
+// coordinator/worker pool (see repro/internal/dist): the coordinator
+// leases shards over HTTP with a timeout — crashed workers' shards are
+// re-issued — validates every submitted envelope against the sweep
+// fingerprint, and writes the merged report once the last shard lands.
+// -cache DIR keeps a content-addressed store of per-scenario
 // aggregates keyed by scenario ID, base seed, trials and window: hit
 // scenarios are emitted without executing a single trial, again
 // byte-identical; corrupted or foreign-version entries fall back to
@@ -76,6 +83,10 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 			return runMerge(args[1:], stdout)
 		case "benchcmp":
 			return runBenchcmp(args[1:], stdout)
+		case "serve":
+			return runServe(args[1:], stdout, stderr)
+		case "work":
+			return runWork(args[1:], stdout, stderr)
 		}
 	}
 	fs := flag.NewFlagSet("goalsweep", flag.ContinueOnError)
@@ -121,18 +132,9 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		}
 	}
 
-	spec, err := loadSpec(*specPath, *builtin)
+	spec, err := resolveSpec(*specPath, *builtin, filters)
 	if err != nil {
 		return err
-	}
-	for _, f := range filters {
-		name, vals, ok := strings.Cut(f, "=")
-		if !ok {
-			return fmt.Errorf("bad -filter %q: want axis=v1,v2", f)
-		}
-		if err := spec.Restrict(name, strings.Split(vals, ",")...); err != nil {
-			return err
-		}
 	}
 	m, err := scenario.NewMatrix(spec)
 	if err != nil {
@@ -213,7 +215,7 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		}
 	}
 	if *benchPath != "" {
-		if err := writeBench(*benchPath, sum, elapsed, *parallel); err != nil {
+		if err := writeBench(*benchPath, sum, elapsed, *parallel, 1); err != nil {
 			return err
 		}
 	}
@@ -308,7 +310,7 @@ func runMerge(args []string, stdout io.Writer) (retErr error) {
 		return fmt.Errorf("merge needs shard result files (goalsweep -shard i/n -json output)")
 	}
 	var shards []*scenario.ShardResult
-	for _, path := range files {
+	for i, path := range files {
 		f, err := os.Open(path)
 		if err != nil {
 			return err
@@ -317,6 +319,24 @@ func runMerge(args []string, stdout io.Writer) (retErr error) {
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
+		}
+		// Cross-envelope mismatches are detected here, where the offending
+		// input file can be named; MergeShards sees only envelopes.
+		first := files[0]
+		if i > 0 {
+			if sr.Fingerprint != shards[0].Fingerprint {
+				return fmt.Errorf("%s: shard %s fingerprint %s does not match %s from %s — shards come from different sweeps",
+					path, sr.Shard, sr.Fingerprint, shards[0].Fingerprint, first)
+			}
+			if sr.Shard.Count != shards[0].Shard.Count {
+				return fmt.Errorf("%s: shard %s mixed into the %d-way partition started by %s",
+					path, sr.Shard, shards[0].Shard.Count, first)
+			}
+		}
+		for j, prev := range shards {
+			if prev.Shard.Index == sr.Shard.Index {
+				return fmt.Errorf("%s: duplicate shard %s, already supplied by %s", path, sr.Shard, files[j])
+			}
 		}
 		shards = append(shards, sr)
 	}
@@ -405,6 +425,24 @@ func runBenchcmp(args []string, stdout io.Writer) error {
 			unit, 100*drop, 100**maxDrop)
 	}
 	return nil
+}
+
+// resolveSpec loads the spec and applies -filter restrictions.
+func resolveSpec(specPath, builtin string, filters filterFlags) (*scenario.Spec, error) {
+	spec, err := loadSpec(specPath, builtin)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range filters {
+		name, vals, ok := strings.Cut(f, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -filter %q: want axis=v1,v2", f)
+		}
+		if err := spec.Restrict(name, strings.Split(vals, ",")...); err != nil {
+			return nil, err
+		}
+	}
+	return spec, nil
 }
 
 // loadSpec reads -spec, or resolves -builtin (defaulting to "default").
@@ -530,10 +568,16 @@ func writeTable(out io.Writer, m *scenario.Matrix, spec *scenario.Spec,
 // writeBench writes the throughput artifact — deliberately the only
 // goalsweep output that contains timings. A defaulted worker pool is
 // recorded as its effective size (GOMAXPROCS), not 0, so artifacts are
-// comparable across hosts.
-func writeBench(path string, sum *scenario.Summary, elapsed time.Duration, parallel int) error {
+// comparable across hosts. workers is the number of worker processes that
+// produced the sweep: 1 for a local run, the coordinator's distinct
+// submitter count for a distributed one (with parallel then totalling the
+// fleet's pools).
+func writeBench(path string, sum *scenario.Summary, elapsed time.Duration, parallel, workers int) error {
 	if parallel < 1 {
 		parallel = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	secs := elapsed.Seconds()
 	b := harness.SweepBench{
@@ -542,6 +586,7 @@ func writeBench(path string, sum *scenario.Summary, elapsed time.Duration, paral
 		Trials:      sum.Trials,
 		TotalRounds: sum.TotalRounds,
 		Parallel:    parallel,
+		Workers:     workers,
 		ElapsedNs:   elapsed.Nanoseconds(),
 	}
 	if secs > 0 {

@@ -1,0 +1,428 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// CoordinatorConfig tunes a coordinator.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a worker may go without submitting or renewing
+	// its shard before the coordinator assumes it crashed and re-issues
+	// the lease; 0 means 2 minutes. Workers renew at a fraction of the
+	// TTL while a shard is still computing, so the TTL bounds
+	// crash-detection latency, not shard duration.
+	LeaseTTL time.Duration
+
+	// Now overrides the clock, for lease-expiry tests; nil means
+	// time.Now.
+	Now func() time.Time
+
+	// Log, when non-nil, receives one line per lease and submit event.
+	Log io.Writer
+}
+
+// shardState is the coordinator's bookkeeping for one shard.
+type shardState struct {
+	done    bool
+	leaseID string    // current lease, "" if never leased
+	expires time.Time // current lease's deadline
+}
+
+// Coordinator plans a sweep's shards, leases them to workers over HTTP
+// and collects the resulting envelopes. It is an http.Handler serving
+// /lease, /submit and /status; all state is guarded by one mutex, so a
+// coordinator can serve any number of concurrent workers.
+type Coordinator struct {
+	plan     Plan
+	leaseTTL time.Duration
+	now      func() time.Time
+	log      io.Writer
+	mux      *http.ServeMux
+
+	mu         sync.Mutex
+	shards     []shardState                  // index i-1 holds shard i/n
+	leases     map[string]leaseInfo          // lease ID -> holder
+	results    map[int]*scenario.ShardResult // 1-based shard index -> envelope
+	workers    map[string]int                // every worker that polled -> reported parallelism
+	submitters map[string]int                // workers whose envelopes were accepted -> parallelism
+	undrained  map[string]bool               // workers not yet told StatusDone
+	executed   int64                         // trials the fleet reported actually executing
+	execKnown  bool                          // every accepted submit carried an executed count
+	nextID     int
+	done       chan struct{}
+	drained    chan struct{}
+}
+
+// leaseInfo records who holds (or held) a lease on which shard.
+type leaseInfo struct {
+	shard    int // 1-based
+	worker   string
+	parallel int
+}
+
+// NewCoordinator builds a coordinator for the plan.
+func NewCoordinator(plan Plan, cfg CoordinatorConfig) (*Coordinator, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		plan:       plan,
+		leaseTTL:   cfg.LeaseTTL,
+		now:        cfg.Now,
+		log:        cfg.Log,
+		shards:     make([]shardState, plan.Shards),
+		leases:     make(map[string]leaseInfo),
+		results:    make(map[int]*scenario.ShardResult),
+		workers:    make(map[string]int),
+		submitters: make(map[string]int),
+		undrained:  make(map[string]bool),
+		execKnown:  true,
+		done:       make(chan struct{}),
+		drained:    make(chan struct{}),
+	}
+	if c.leaseTTL <= 0 {
+		c.leaseTTL = 2 * time.Minute
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.log == nil {
+		c.log = io.Discard
+	}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /lease", c.handleLease)
+	c.mux.HandleFunc("POST /renew", c.handleRenew)
+	c.mux.HandleFunc("POST /submit", c.handleSubmit)
+	c.mux.HandleFunc("GET /status", c.handleStatus)
+	return c, nil
+}
+
+// Plan returns the plan the coordinator distributes.
+func (c *Coordinator) Plan() Plan { return c.plan }
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	fmt.Fprintf(c.log, "coordinator: "+format+"\n", args...)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleLease hands the lowest pending (or expired-lease) shard to the
+// asking worker, or tells it to wait or exit. The response is computed
+// under the state lock but written to the socket after releasing it — a
+// stalled client connection must never block the other endpoints (a
+// blocked /renew would expire healthy leases).
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("dist: decode lease request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Protocol != ProtocolVersion {
+		http.Error(w, fmt.Sprintf("dist: protocol version %d, want %d", req.Protocol, ProtocolVersion),
+			http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, c.leaseLocked(req))
+}
+
+// leaseLocked is handleLease's state transition; it returns the response
+// to send. The embedded *Plan is immutable after construction, so sharing
+// the pointer outside the lock is safe.
+func (c *Coordinator) leaseLocked(req LeaseRequest) LeaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Worker != "" {
+		c.workers[req.Worker] = req.Parallel
+	}
+	if len(c.results) == c.plan.Shards {
+		// This worker now knows the sweep is over and will exit; once
+		// every known worker has heard it the coordinator can tear down
+		// its listener without stranding anyone mid-poll.
+		delete(c.undrained, req.Worker)
+		c.checkDrainedLocked()
+		return LeaseResponse{Protocol: ProtocolVersion, Status: StatusDone}
+	}
+	if req.Worker != "" {
+		c.undrained[req.Worker] = true
+	}
+	now := c.now()
+	for i := range c.shards {
+		st := &c.shards[i]
+		if st.done || (st.leaseID != "" && now.Before(st.expires)) {
+			continue
+		}
+		if st.leaseID != "" {
+			c.logf("lease %s on shard %d/%d expired, re-issuing", st.leaseID, i+1, c.plan.Shards)
+		}
+		c.nextID++
+		st.leaseID = fmt.Sprintf("lease-%d", c.nextID)
+		st.expires = now.Add(c.leaseTTL)
+		c.leases[st.leaseID] = leaseInfo{shard: i + 1, worker: req.Worker, parallel: req.Parallel}
+		c.logf("shard %d/%d leased to %q as %s", i+1, c.plan.Shards, req.Worker, st.leaseID)
+		return LeaseResponse{
+			Protocol: ProtocolVersion,
+			Status:   StatusLease,
+			LeaseID:  st.leaseID,
+			Shard:    scenario.Shard{Index: i + 1, Count: c.plan.Shards},
+			Plan:     &c.plan,
+			TTLMs:    c.leaseTTL.Milliseconds(),
+		}
+	}
+	return LeaseResponse{Protocol: ProtocolVersion, Status: StatusWait}
+}
+
+// handleRenew extends a live lease: workers renew while a shard's sweep
+// is still running, so the lease TTL bounds crash *detection* latency,
+// not shard duration. A renewal is refused (Renewed false, not an error)
+// when the lease is no longer the shard's current one — the shard was
+// submitted, or the lease expired and was re-issued.
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	leaseID := r.URL.Query().Get("lease")
+	if leaseID == "" {
+		http.Error(w, "dist: renew without lease ID", http.StatusBadRequest)
+		return
+	}
+	rr, herr := c.renewLocked(leaseID)
+	if herr != nil {
+		http.Error(w, herr.msg, herr.code)
+		return
+	}
+	writeJSON(w, rr)
+}
+
+// httpErr is a handler outcome carried from a locked state transition to
+// the unlocked socket write.
+type httpErr struct {
+	code int
+	msg  string
+}
+
+func (c *Coordinator) renewLocked(leaseID string) (RenewResponse, *httpErr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	li, ok := c.leases[leaseID]
+	if !ok {
+		return RenewResponse{}, &httpErr{http.StatusNotFound, fmt.Sprintf("dist: unknown lease %q", leaseID)}
+	}
+	st := &c.shards[li.shard-1]
+	if st.done || st.leaseID != leaseID {
+		return RenewResponse{Renewed: false}, nil
+	}
+	st.expires = c.now().Add(c.leaseTTL)
+	c.logf("lease %s on shard %d/%d renewed", leaseID, li.shard, c.plan.Shards)
+	return RenewResponse{Renewed: true, TTLMs: c.leaseTTL.Milliseconds()}, nil
+}
+
+// handleSubmit validates and stores one shard envelope. Submissions under
+// an expired lease are accepted as long as the shard is still open —
+// sweeps are deterministic, so a straggler's envelope is byte-identical
+// to the re-leased worker's — and submissions for an already-completed
+// shard are acknowledged idempotently and discarded.
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	leaseID := r.URL.Query().Get("lease")
+	if leaseID == "" {
+		http.Error(w, "dist: submit without lease ID", http.StatusBadRequest)
+		return
+	}
+	sr, err := scenario.ReadShardResult(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	ack, herr := c.submitLocked(leaseID, sr, r.URL.Query().Get("executed"))
+	if herr != nil {
+		http.Error(w, herr.msg, herr.code)
+		return
+	}
+	writeJSON(w, ack)
+}
+
+func (c *Coordinator) submitLocked(leaseID string, sr *scenario.ShardResult, executed string) (SubmitResponse, *httpErr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	li, ok := c.leases[leaseID]
+	if !ok {
+		return SubmitResponse{}, &httpErr{http.StatusNotFound, fmt.Sprintf("dist: unknown lease %q", leaseID)}
+	}
+	idx := li.shard
+	// Validate the envelope against the plan before it can reach
+	// MergeShards: the fingerprint proves the worker ran the same sweep
+	// (same spec content, registry version, seeds, window, base seed and
+	// sample selection), and the shard coordinates must be the leased
+	// ones.
+	if sr.Fingerprint != c.plan.Fingerprint {
+		return SubmitResponse{}, &httpErr{http.StatusConflict,
+			fmt.Sprintf("dist: envelope fingerprint %s does not match plan %s — worker ran a different sweep",
+				sr.Fingerprint, c.plan.Fingerprint)}
+	}
+	if sr.Shard.Index != idx || sr.Shard.Count != c.plan.Shards {
+		return SubmitResponse{}, &httpErr{http.StatusConflict,
+			fmt.Sprintf("dist: envelope covers shard %s but lease %s names shard %d/%d",
+				sr.Shard, leaseID, idx, c.plan.Shards)}
+	}
+	if c.shards[idx-1].done {
+		// A straggler finished after its shard was re-leased and
+		// resubmitted; its bytes are identical by determinism, so just
+		// acknowledge.
+		c.logf("shard %d/%d resubmitted under %s; already complete", idx, c.plan.Shards, leaseID)
+		return SubmitResponse{Accepted: true, Done: len(c.results) == c.plan.Shards}, nil
+	}
+	c.results[idx] = sr
+	c.shards[idx-1].done = true
+	c.submitters[li.worker] = li.parallel
+	// Workers report how many trials they actually executed (as opposed
+	// to served from a shared cache) alongside the envelope; the sum
+	// decides whether a throughput artifact for this sweep would be
+	// honest. Exactly one submission per shard is counted, so a
+	// re-executed straggler shard cannot double-count.
+	if n, err := strconv.ParseInt(executed, 10, 64); err != nil {
+		c.execKnown = false
+	} else {
+		c.executed += n
+	}
+	complete := len(c.results) == c.plan.Shards
+	c.logf("shard %d/%d submitted under %s (%d/%d complete)", idx, c.plan.Shards, leaseID, len(c.results), c.plan.Shards)
+	if complete {
+		close(c.done)
+		c.checkDrainedLocked()
+	}
+	return SubmitResponse{Accepted: true, Done: complete}, nil
+}
+
+// handleStatus reports progress.
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.statusLocked())
+}
+
+func (c *Coordinator) statusLocked() StatusResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := StatusResponse{
+		Protocol:    ProtocolVersion,
+		Spec:        c.plan.Spec.Name,
+		Fingerprint: c.plan.Fingerprint,
+		Shards:      c.plan.Shards,
+		Workers:     len(c.workers),
+		Complete:    len(c.results) == c.plan.Shards,
+	}
+	now := c.now()
+	for i := range c.shards {
+		switch {
+		case c.shards[i].done:
+			st.Done++
+		case c.shards[i].leaseID != "" && now.Before(c.shards[i].expires):
+			st.Leased++
+		default:
+			st.Pending++
+		}
+	}
+	return st
+}
+
+// checkDrainedLocked closes the drained channel once the sweep is
+// complete and every known worker has been answered StatusDone. Called
+// with c.mu held.
+func (c *Coordinator) checkDrainedLocked() {
+	if len(c.results) != c.plan.Shards || len(c.undrained) != 0 {
+		return
+	}
+	select {
+	case <-c.drained:
+	default:
+		close(c.drained)
+	}
+}
+
+// Wait blocks until every shard has been submitted or the context ends.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-c.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// WaitDrained blocks until the sweep is complete AND every worker that
+// ever asked for a lease has been told StatusDone — the graceful-shutdown
+// point after which tearing down the listener cannot strand a live worker
+// mid-poll. A worker that crashed never drains, so callers bound this
+// with a context deadline.
+func (c *Coordinator) WaitDrained(ctx context.Context) error {
+	select {
+	case <-c.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Merged reassembles the collected envelopes into the unsharded sweep's
+// stats stream and summary; it errors if any shard is still missing.
+func (c *Coordinator) Merged() ([]*scenario.Stats, *scenario.Summary, error) {
+	c.mu.Lock()
+	shards := make([]*scenario.ShardResult, 0, len(c.results))
+	for _, sr := range c.results {
+		shards = append(shards, sr)
+	}
+	missing := c.plan.Shards - len(c.results)
+	c.mu.Unlock()
+	if missing > 0 {
+		return nil, nil, fmt.Errorf("dist: %d of %d shards not yet submitted", missing, c.plan.Shards)
+	}
+	return scenario.MergeShards(shards)
+}
+
+// Workers returns how many distinct workers have asked for leases —
+// observability, not accounting: a worker that only ever polled counts
+// too.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Submitters returns how many distinct workers had an envelope accepted
+// and the sum of their reported trial-pool sizes (each clamped to at
+// least 1, so the total is usable as a bench artifact's effective
+// parallelism). Unlike Workers, this counts only the fleet that actually
+// produced the sweep.
+func (c *Coordinator) Submitters() (count, totalParallel int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.submitters {
+		if p < 1 {
+			p = 1
+		}
+		totalParallel += p
+	}
+	return len(c.submitters), totalParallel
+}
+
+// ExecutedTrials returns the fleet's total executed-trial count and
+// whether every accepted submission reported one. known is false when any
+// worker omitted the count (an older or foreign client), in which case
+// the total is a lower bound and throughput artifacts should not be
+// written from it.
+func (c *Coordinator) ExecutedTrials() (total int64, known bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.executed, c.execKnown
+}

@@ -1,0 +1,43 @@
+// Package dist is the distributed execution backend for scenario sweeps:
+// a coordinator/worker split over the shard envelope that internal/scenario
+// already treats as a complete wire format.
+//
+// A Coordinator owns a Plan — the spec, the effective sweep parameters
+// (seeds, window, base seed, sample selection), the shard count and the
+// sweep Fingerprint derived from all of them — and serves work units over
+// three HTTP endpoints:
+//
+//	POST /lease   a worker asks for work and receives either a lease
+//	              (shard coordinates + the full plan), a wait hint (all
+//	              shards are leased but not all submitted), or done
+//	POST /renew   a worker extends its lease while a shard is still
+//	              computing, so the TTL bounds crash-detection latency,
+//	              not shard duration
+//	POST /submit  a worker pushes back the shard's ShardResult envelope
+//	              under its lease ID; the coordinator validates the
+//	              envelope's framing and fingerprint before accepting it
+//	GET  /status  progress accounting for humans and scripts
+//
+// Leases expire: a worker that crashes mid-shard stops renewing its
+// claim, and after the lease TTL the coordinator re-issues the same shard
+// to the next worker that asks. Because sweeps are deterministic — trial
+// seeds derive from scenario content, never from placement — a re-executed
+// shard produces byte-identical results, so a stale submit racing a
+// re-lease is accepted idempotently rather than rejected: every writer of
+// a shard writes the same bytes.
+//
+// A Worker pulls a lease, recomputes the sweep fingerprint locally from
+// the leased spec and its own registry version (refusing the lease on
+// mismatch, which catches coordinator/worker version skew), runs the
+// ordinary Matrix.Sweep over the shard's index range — sharing a
+// content-addressed result Cache with colocated workers when configured —
+// and submits the envelope. When every shard has been submitted the
+// coordinator reassembles them with MergeShards into a report
+// byte-identical to a fresh serial run of the same sweep.
+//
+// The protocol is testable hermetically: LoopbackClient wraps the
+// coordinator's http.Handler in an in-process http.Client, so the whole
+// lease/crash/re-lease/submit cycle runs in one process with no sockets.
+// cmd/goalsweep exposes the backend as "goalsweep serve" and "goalsweep
+// work".
+package dist

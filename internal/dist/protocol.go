@@ -1,0 +1,147 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// ProtocolVersion versions the lease/submit wire protocol; both sides
+// reject peers speaking any other version, so a mixed deployment fails
+// loudly instead of mis-partitioning a sweep.
+const ProtocolVersion = 1
+
+// Plan is everything a worker needs to reproduce one sweep's result
+// stream: the spec, the effective execution parameters, the sample
+// selection, the shard count, and the Fingerprint derived from all of
+// them. The coordinator computes the plan once; workers recompute the
+// fingerprint locally from the leased spec and their own registry version
+// and refuse mismatches, so version skew between coordinator and worker
+// binaries cannot silently corrupt a merged report.
+type Plan struct {
+	Spec        *scenario.Spec `json:"spec"`
+	Shards      int            `json:"shards"`
+	Seeds       int            `json:"seeds"`
+	Window      int            `json:"window"`
+	BaseSeed    uint64         `json:"baseSeed"`
+	SampleN     int            `json:"sampleN,omitempty"`
+	SampleSeed  uint64         `json:"sampleSeed,omitempty"`
+	Fingerprint string         `json:"fingerprint"`
+}
+
+// NewPlan resolves a sweep into its distributed execution plan: effective
+// parameters come from the config against the spec's defaults (exactly as
+// a local sweep would resolve them), and the fingerprint is computed under
+// the given registry version.
+func NewPlan(spec *scenario.Spec, registryVersion string, cfg scenario.SweepConfig,
+	shards, sampleN int, sampleSeed uint64) (Plan, error) {
+	if err := spec.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if shards < 1 {
+		return Plan{}, fmt.Errorf("dist: shard count %d < 1", shards)
+	}
+	seeds, window, base := cfg.Effective(spec)
+	if sampleN <= 0 {
+		sampleN, sampleSeed = 0, 0
+	}
+	return Plan{
+		Spec:        spec,
+		Shards:      shards,
+		Seeds:       seeds,
+		Window:      window,
+		BaseSeed:    base,
+		SampleN:     sampleN,
+		SampleSeed:  sampleSeed,
+		Fingerprint: scenario.Fingerprint(spec, registryVersion, seeds, window, base, sampleN, sampleSeed),
+	}, nil
+}
+
+// Validate checks the plan's structural well-formedness on receipt.
+func (p *Plan) Validate() error {
+	if p.Spec == nil {
+		return fmt.Errorf("dist: plan has no spec")
+	}
+	if err := p.Spec.Validate(); err != nil {
+		return err
+	}
+	if p.Shards < 1 {
+		return fmt.Errorf("dist: plan shard count %d < 1", p.Shards)
+	}
+	if p.Fingerprint == "" {
+		return fmt.Errorf("dist: plan has no fingerprint")
+	}
+	return nil
+}
+
+// Selection materializes the plan's scenario selection over m: the sample
+// when one is planned, otherwise nil (the full enumeration).
+func (p *Plan) Selection(m *scenario.Matrix) []int64 {
+	if p.SampleN > 0 {
+		return m.Sample(p.SampleN, p.SampleSeed)
+	}
+	return nil
+}
+
+// Lease response statuses.
+const (
+	// StatusLease carries a work unit: run the shard, submit the envelope.
+	StatusLease = "lease"
+	// StatusWait means every remaining shard is leased to someone else;
+	// poll again — a lease may yet expire.
+	StatusWait = "wait"
+	// StatusDone means every shard has been submitted; the worker can
+	// exit.
+	StatusDone = "done"
+)
+
+// LeaseRequest is a worker's ask for work.
+type LeaseRequest struct {
+	Protocol int    `json:"protocol"`
+	Worker   string `json:"worker"`
+	Parallel int    `json:"parallel,omitempty"`
+}
+
+// LeaseResponse answers a lease request; Status selects which fields are
+// meaningful.
+type LeaseResponse struct {
+	Protocol int            `json:"protocol"`
+	Status   string         `json:"status"`
+	LeaseID  string         `json:"leaseID,omitempty"`
+	Shard    scenario.Shard `json:"shard"`
+	Plan     *Plan          `json:"plan,omitempty"`
+	// TTLMs is the lease's lifetime in milliseconds (StatusLease only):
+	// the worker must submit or renew within it, and renews at a
+	// fraction of it while computing.
+	TTLMs int64 `json:"ttlMs,omitempty"`
+}
+
+// RenewResponse answers a lease renewal. Renewed is false when the lease
+// is no longer current — its shard was already submitted, or it expired
+// and was re-issued to another worker. A worker whose renewal fails keeps
+// computing: its eventual submit is still accepted (idempotently if the
+// re-leased worker finished first).
+type RenewResponse struct {
+	Renewed bool  `json:"renewed"`
+	TTLMs   int64 `json:"ttlMs,omitempty"`
+}
+
+// SubmitResponse acknowledges an accepted envelope.
+type SubmitResponse struct {
+	Accepted bool `json:"accepted"`
+	// Done reports whether this submission completed the sweep.
+	Done bool `json:"done"`
+}
+
+// StatusResponse is the coordinator's progress accounting.
+type StatusResponse struct {
+	Protocol    int    `json:"protocol"`
+	Spec        string `json:"spec"`
+	Fingerprint string `json:"fingerprint"`
+	Shards      int    `json:"shards"`
+	Done        int    `json:"done"`
+	Leased      int    `json:"leased"`
+	Pending     int    `json:"pending"`
+	Workers     int    `json:"workers"`
+	Complete    bool   `json:"complete"`
+}

@@ -1,0 +1,389 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// workerSeq distinguishes workers created in one process (tests spawn
+// several).
+var workerSeq atomic.Int64
+
+// Worker pulls shard leases from a coordinator, executes them through the
+// ordinary local sweep, and submits the resulting envelopes. The zero
+// value plus a Coordinator URL is a working configuration.
+type Worker struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+
+	// Client issues the HTTP requests; nil means http.DefaultClient. Use
+	// LoopbackClient to run against an in-process coordinator.
+	Client *http.Client
+
+	// Registry resolves scenarios; nil means Builtin(). The worker
+	// recomputes the plan fingerprint under this registry's version and
+	// refuses leases that disagree, so a worker bound differently from
+	// the coordinator cannot contribute to its sweep.
+	Registry *scenario.Registry
+
+	// Parallel bounds the local trial pool; values < 1 mean GOMAXPROCS.
+	Parallel int
+
+	// Cache, when non-nil, is the shared content-addressed result store;
+	// colocated workers pointing at one directory deduplicate scenario
+	// executions across shards for free (writes are atomic).
+	Cache *scenario.Cache
+
+	// ID names the worker in coordinator accounting; "" derives one from
+	// the process ID.
+	ID string
+
+	// Poll is the backoff between lease attempts while every shard is
+	// claimed elsewhere, and between transport-error retries; 0 means
+	// 500ms.
+	Poll time.Duration
+
+	// Retries bounds consecutive failed lease/submit transport attempts
+	// before the worker gives up (a coordinator that is still starting
+	// up, or a transient network failure, should not kill the fleet);
+	// 0 means 20.
+	Retries int
+
+	// Log, when non-nil, receives one line per shard executed.
+	Log io.Writer
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+func (w *Worker) registry() *scenario.Registry {
+	if w.Registry != nil {
+		return w.Registry
+	}
+	return scenario.Builtin()
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		fmt.Fprintf(w.Log, "worker %s: "+format+"\n", append([]any{w.id()}, args...)...)
+	}
+}
+
+func (w *Worker) id() string {
+	if w.ID == "" {
+		w.ID = fmt.Sprintf("worker-%d-%d", os.Getpid(), workerSeq.Add(1))
+	}
+	return w.ID
+}
+
+// effectiveParallel is the pool size reported to the coordinator.
+func (w *Worker) effectiveParallel() int {
+	if w.Parallel > 0 {
+		return w.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run leases, executes and submits shards until the coordinator reports
+// the sweep complete or the context ends. It returns the number of shards
+// this worker submitted.
+func (w *Worker) Run(ctx context.Context) (int, error) {
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	retries := w.Retries
+	if retries <= 0 {
+		retries = 20
+	}
+	completed := 0
+	failures := 0
+	for {
+		lease, err := w.lease(ctx)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return completed, ctxErr
+			}
+			failures++
+			if failures > retries {
+				return completed, fmt.Errorf("dist: lease failed %d times, giving up: %w", failures, err)
+			}
+			w.logf("lease attempt failed (%d/%d): %v", failures, retries, err)
+			if err := sleep(ctx, poll); err != nil {
+				return completed, err
+			}
+			continue
+		}
+		failures = 0
+		switch lease.Status {
+		case StatusDone:
+			return completed, nil
+		case StatusWait:
+			if err := sleep(ctx, poll); err != nil {
+				return completed, err
+			}
+		case StatusLease:
+			stopRenew := w.startRenewer(ctx, lease)
+			sr, err := w.runShard(lease)
+			stopRenew()
+			if err != nil {
+				return completed, err
+			}
+			if err := w.submit(ctx, lease.LeaseID, sr, retries, poll); err != nil {
+				return completed, err
+			}
+			completed++
+		default:
+			return completed, fmt.Errorf("dist: coordinator answered unknown lease status %q", lease.Status)
+		}
+	}
+}
+
+// sleep waits d or until the context ends.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// startRenewer keeps a lease alive while its shard is computing, renewing
+// at a third of the lease TTL so the coordinator's crash detector never
+// fires on a merely slow shard. Renewal failures are logged and stop the
+// renewer but never the computation: a worker whose lease lapsed anyway
+// still submits, and determinism makes that submission acceptable. The
+// returned stop function terminates the renewer and waits for it.
+func (w *Worker) startRenewer(ctx context.Context, lease *LeaseResponse) (stop func()) {
+	interval := time.Duration(lease.TTLMs) * time.Millisecond / 3
+	if interval <= 0 {
+		return func() {}
+	}
+	if interval < time.Second {
+		interval = time.Second
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				renewed, err := w.renew(ctx, lease.LeaseID)
+				if err != nil {
+					w.logf("lease %s renewal failed (continuing shard %s): %v", lease.LeaseID, lease.Shard, err)
+					return
+				}
+				if !renewed {
+					w.logf("lease %s no longer current (continuing shard %s; submit will be idempotent)",
+						lease.LeaseID, lease.Shard)
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}
+
+// renew asks the coordinator to extend one lease.
+func (w *Worker) renew(ctx context.Context, leaseID string) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+"/renew?lease="+leaseID, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, httpError("renew", resp)
+	}
+	var rr RenewResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return false, fmt.Errorf("dist: decode renew response: %w", err)
+	}
+	return rr.Renewed, nil
+}
+
+// lease asks the coordinator for work.
+func (w *Worker) lease(ctx context.Context) (*LeaseResponse, error) {
+	body, err := json.Marshal(LeaseRequest{
+		Protocol: ProtocolVersion,
+		Worker:   w.id(),
+		Parallel: w.effectiveParallel(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+"/lease", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("lease", resp)
+	}
+	var lease LeaseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+		return nil, fmt.Errorf("dist: decode lease response: %w", err)
+	}
+	if lease.Protocol != ProtocolVersion {
+		return nil, fmt.Errorf("dist: coordinator speaks protocol %d, want %d", lease.Protocol, ProtocolVersion)
+	}
+	return &lease, nil
+}
+
+// runShard executes one leased shard through the local sweep and wraps
+// the result in a submit-ready envelope.
+func (w *Worker) runShard(lease *LeaseResponse) (*scenario.ShardResult, error) {
+	plan := lease.Plan
+	if plan == nil {
+		return nil, fmt.Errorf("dist: lease %s carries no plan", lease.LeaseID)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if lease.Shard.Count != plan.Shards {
+		return nil, fmt.Errorf("dist: lease %s shard %s disagrees with plan's %d-way partition",
+			lease.LeaseID, lease.Shard, plan.Shards)
+	}
+	if err := lease.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	reg := w.registry()
+	// Recompute the fingerprint locally: it covers the spec content, this
+	// worker's registry version and the effective parameters, so any skew
+	// (a coordinator from a newer build, a custom registry) is caught
+	// here, before a single trial runs.
+	local := scenario.Fingerprint(plan.Spec, reg.Version(), plan.Seeds, plan.Window, plan.BaseSeed,
+		plan.SampleN, plan.SampleSeed)
+	if local != plan.Fingerprint {
+		return nil, fmt.Errorf("dist: plan fingerprint %s does not match locally computed %s — coordinator/worker version skew",
+			plan.Fingerprint, local)
+	}
+	m, err := scenario.NewMatrix(plan.Spec)
+	if err != nil {
+		return nil, err
+	}
+	indices := lease.Shard.Indices(m, plan.Selection(m))
+	var stats []*scenario.Stats
+	cfg := scenario.SweepConfig{
+		Registry: w.Registry,
+		Parallel: w.Parallel,
+		Seeds:    plan.Seeds,
+		Window:   plan.Window,
+		BaseSeed: plan.BaseSeed,
+		Cache:    w.Cache,
+		OnStats: func(st *scenario.Stats) error {
+			stats = append(stats, st)
+			return nil
+		},
+	}
+	start := time.Now()
+	sum, err := m.Sweep(indices, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dist: shard %s: %w", lease.Shard, err)
+	}
+	w.logf("shard %s: %d scenarios, %d trials executed, %d cache hits in %v",
+		lease.Shard, sum.Scenarios, sum.ExecutedTrials, sum.CacheHits, time.Since(start).Round(time.Millisecond))
+	return &scenario.ShardResult{
+		Version:     scenario.ShardFormatVersion,
+		Fingerprint: plan.Fingerprint,
+		Spec:        plan.Spec,
+		Shard:       lease.Shard,
+		Scenarios:   stats,
+		Summary:     sum,
+	}, nil
+}
+
+// submit pushes the envelope back under its lease, retrying transport
+// failures; protocol-level rejections (4xx/5xx) are fatal. The executed
+// query parameter reports how many trials this shard actually ran (a
+// shared warm cache can make it less than the shard's trial total —
+// that accounting is json:"-" in the envelope, so it travels here); the
+// coordinator sums it to decide whether a throughput artifact would be
+// honest.
+func (w *Worker) submit(ctx context.Context, leaseID string, sr *scenario.ShardResult, retries int, poll time.Duration) error {
+	var buf bytes.Buffer
+	if err := sr.Write(&buf); err != nil {
+		return err
+	}
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			fmt.Sprintf("%s/submit?lease=%s&executed=%d", w.Coordinator, leaseID, sr.Summary.ExecutedTrials),
+			bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.client().Do(req)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return ctxErr
+			}
+			if attempt > retries {
+				return fmt.Errorf("dist: submit failed %d times, giving up: %w", attempt, err)
+			}
+			w.logf("submit attempt failed (%d/%d): %v", attempt, retries, err)
+			if err := sleep(ctx, poll); err != nil {
+				return err
+			}
+			continue
+		}
+		func() {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = httpError("submit", resp)
+				return
+			}
+			var ack SubmitResponse
+			if derr := json.NewDecoder(resp.Body).Decode(&ack); derr != nil {
+				err = fmt.Errorf("dist: decode submit response: %w", derr)
+				return
+			}
+			if !ack.Accepted {
+				err = fmt.Errorf("dist: coordinator did not accept shard %s", sr.Shard)
+			}
+		}()
+		return err
+	}
+}
+
+// httpError folds a non-200 response into an error carrying the
+// coordinator's message.
+func httpError(op string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("dist: %s: coordinator answered %s: %s", op, resp.Status, bytes.TrimSpace(msg))
+}

@@ -23,11 +23,18 @@ type ServerVerdict struct {
 // 0 — a defaulted pool records GOMAXPROCS), so artifacts are comparable
 // across hosts with different core counts.
 type SweepBench struct {
-	Spec         string  `json:"spec"`
-	Scenarios    int     `json:"scenarios"`
-	Trials       int     `json:"trials"`
-	TotalRounds  int64   `json:"totalRounds"`
-	Parallel     int     `json:"parallel"`
+	Spec        string `json:"spec"`
+	Scenarios   int    `json:"scenarios"`
+	Trials      int    `json:"trials"`
+	TotalRounds int64  `json:"totalRounds"`
+	Parallel    int    `json:"parallel"`
+
+	// Workers counts the worker processes that produced the sweep: 1 for
+	// a local run, the coordinator's distinct submitter count for a
+	// distributed one (Parallel then totals the fleet's trial pools).
+	// Absent in artifacts written before distributed execution existed.
+	Workers int `json:"workers,omitempty"`
+
 	ElapsedNs    int64   `json:"elapsedNs"`
 	TrialsPerSec float64 `json:"trialsPerSec"`
 	RoundsPerSec float64 `json:"roundsPerSec"`

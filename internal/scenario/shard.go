@@ -148,24 +148,45 @@ func (sr *ShardResult) Write(w io.Writer) error {
 }
 
 // ReadShardResult decodes one shard envelope and validates its framing.
+// Unknown JSON fields are rejected deliberately: an envelope written by a
+// future format that grew fields would otherwise decode "successfully"
+// with those fields silently dropped, and a merge would fabricate a
+// complete-looking report from data it did not understand. Compatible
+// format evolution bumps ShardFormatVersion instead.
 func ReadShardResult(r io.Reader) (*ShardResult, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
 	var sr ShardResult
-	if err := json.NewDecoder(r).Decode(&sr); err != nil {
+	if err := dec.Decode(&sr); err != nil {
 		return nil, fmt.Errorf("scenario: decode shard result: %w", err)
 	}
-	if sr.Version != ShardFormatVersion {
-		return nil, fmt.Errorf("scenario: shard result format version %d, want %d", sr.Version, ShardFormatVersion)
-	}
-	if err := sr.Shard.Validate(); err != nil {
+	if err := sr.Validate(); err != nil {
 		return nil, err
 	}
+	return &sr, nil
+}
+
+// Validate checks the envelope's framing: the format version, the shard
+// coordinates, the presence of spec and summary, and agreement between
+// the scenario list and the summary's count.
+func (sr *ShardResult) Validate() error {
+	if sr.Version != ShardFormatVersion {
+		return fmt.Errorf("scenario: shard result format version %d, want %d", sr.Version, ShardFormatVersion)
+	}
+	if err := sr.Shard.Validate(); err != nil {
+		return err
+	}
 	if sr.Spec == nil {
-		return nil, fmt.Errorf("scenario: shard result %s has no spec", sr.Shard)
+		return fmt.Errorf("scenario: shard result %s has no spec", sr.Shard)
 	}
 	if sr.Summary == nil {
-		return nil, fmt.Errorf("scenario: shard result %s has no summary", sr.Shard)
+		return fmt.Errorf("scenario: shard result %s has no summary", sr.Shard)
 	}
-	return &sr, nil
+	if len(sr.Scenarios) != sr.Summary.Scenarios {
+		return fmt.Errorf("scenario: shard result %s carries %d scenarios but its summary counts %d",
+			sr.Shard, len(sr.Scenarios), sr.Summary.Scenarios)
+	}
+	return nil
 }
 
 // MergeShards recombines a complete set of shard outputs into the stats

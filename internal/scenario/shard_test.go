@@ -354,6 +354,59 @@ func TestShardResultReadWrite(t *testing.T) {
 	}
 }
 
+// TestShardResultRejectsUnknownFields pins the envelope's forward-compat
+// contract: an envelope carrying fields this build does not know is
+// rejected outright, never silently accepted with the extra data dropped
+// — a future format that grows fields must bump ShardFormatVersion.
+func TestShardResultRejectsUnknownFields(t *testing.T) {
+	t.Parallel()
+
+	spec, err := BuiltinSpec("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SweepConfig{}
+	sh := Shard{Index: 1, Count: 1}
+	stats, sum := sweepIndices(t, m, sh.Indices(m, nil), cfg)
+	sr := &ShardResult{
+		Version:     ShardFormatVersion,
+		Fingerprint: shardFingerprint(spec, cfg, 0, 0),
+		Spec:        spec,
+		Shard:       sh,
+		Scenarios:   stats,
+		Summary:     sum,
+	}
+	var b strings.Builder
+	if err := sr.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the unmodified envelope round-trips.
+	if _, err := ReadShardResult(strings.NewReader(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	// Graft an unknown top-level field onto the valid envelope.
+	futured := strings.Replace(b.String(), `"version":`, `"futureField": 7, "version":`, 1)
+	if futured == b.String() {
+		t.Fatal("test setup: version field not found in envelope")
+	}
+	if _, err := ReadShardResult(strings.NewReader(futured)); err == nil ||
+		!strings.Contains(err.Error(), "futureField") {
+		t.Fatalf("envelope with unknown top-level field accepted: %v", err)
+	}
+	// Unknown fields nested in the summary are rejected too.
+	nested := strings.Replace(b.String(), `"summary": {`, `"summary": {"futureStat": 1, `, 1)
+	if nested == b.String() {
+		t.Fatal("test setup: summary object not found in envelope")
+	}
+	if _, err := ReadShardResult(strings.NewReader(nested)); err == nil {
+		t.Fatal("envelope with unknown summary field accepted")
+	}
+}
+
 // TestFingerprintSensitivity checks that the fingerprint distinguishes
 // every input that changes a sweep's output, and nothing else.
 func TestFingerprintSensitivity(t *testing.T) {

@@ -1,21 +1,3 @@
-// Package scenario is the declarative scenario-space subsystem: it turns
-// hand-coded experiment grids into data.
-//
-// A Spec names the axes of a scenario space — goal and world parameters,
-// user strategy, the server transform stack (dialect class member, noise,
-// delay, slowness, the unhelpful probe), horizons — and a Matrix expands
-// their cross-product lazily: scenarios are decoded from an index on
-// demand, never materialized as a slice, so billion-point spaces cost
-// nothing to declare. Sample draws deterministic random subsets of huge
-// spaces; every expanded Scenario carries a stable content-derived ID that
-// does not depend on axis order or position in the enumeration.
-//
-// A Registry maps a scenario's axis values to concrete parties (the
-// built-in registry covers the stock goals and server transforms), and
-// Matrix.Sweep streams scenarios through the batch execution engine with
-// online per-scenario aggregation — success rate, rounds-to-success
-// distribution, message overhead — so sweeps never hold per-trial results.
-// Sweep output is byte-identical at every parallelism level.
 package scenario
 
 import (
