@@ -1,0 +1,338 @@
+// Allocation-discipline and fast-path-parity pins for the engine hot
+// path (ISSUE 5): the steady-state round loop of every stock goal must
+// stay within its allocation budget under RecordOff and RecordWindow,
+// and the buffer-backed/live-judge fast paths must be observably
+// identical to the string paths they bypass.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/dialect"
+	"repro/internal/goal"
+	"repro/internal/goals/control"
+	"repro/internal/goals/delegation"
+	"repro/internal/goals/learning"
+	"repro/internal/goals/printing"
+	"repro/internal/goals/transfer"
+	"repro/internal/goals/treasure"
+	"repro/internal/server"
+	"repro/internal/system"
+	"repro/internal/universal"
+)
+
+// goalSetup assembles one (goal, user, server, world) system the way the
+// sweep registry would. Parties are rebuilt per execution via the
+// factories; the goal may be nil for finite goals (no compact referee).
+type goalSetup struct {
+	name   string
+	g      goal.CompactGoal
+	user   func() comm.Strategy
+	server func() comm.Strategy
+	world  func() goal.World
+	rounds int
+}
+
+// stockSetups covers all six stock goals with protocol-faithful parties:
+// a matching candidate against its class server, so executions reach and
+// hold the goal's steady state (the regime sweeps spend their rounds in).
+func stockSetups(t testing.TB) []goalSetup {
+	t.Helper()
+	printFam, err := dialect.NewWordFamily(printing.Vocabulary(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transFam, err := dialect.NewWordFamily(transfer.Vocabulary(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delFam, err := dialect.NewWordFamily(delegation.Vocabulary(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitsFam, err := control.NewUnitsFamily(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printGoal := &printing.Goal{}
+	transGoal := &transfer.Goal{}
+	ctrlGoal := &control.Goal{}
+	learnGoal := &learning.Goal{M: 32}
+	treasGoal := &treasure.Goal{}
+	delGoal := &delegation.Goal{}
+	return []goalSetup{
+		{
+			name:   "treasure",
+			g:      treasGoal,
+			user:   func() comm.Strategy { return &treasure.Candidate{Guess: 2} },
+			server: func() comm.Strategy { return &treasure.Server{Secret: 2} },
+			world:  func() goal.World { return treasGoal.NewWorld(goal.Env{}) },
+			rounds: 1000,
+		},
+		{
+			name:   "printing",
+			g:      printGoal,
+			user:   func() comm.Strategy { return &printing.Candidate{D: printFam.Dialect(1)} },
+			server: func() comm.Strategy { return server.Dialected(&printing.Server{}, printFam.Dialect(1)) },
+			world:  func() goal.World { return printGoal.NewWorld(goal.Env{Choice: 1}) },
+			rounds: 1000,
+		},
+		{
+			name:   "transfer",
+			g:      transGoal,
+			user:   func() comm.Strategy { return &transfer.Candidate{D: transFam.Dialect(1)} },
+			server: func() comm.Strategy { return server.Dialected(&transfer.Server{}, transFam.Dialect(1)) },
+			world:  func() goal.World { return transGoal.NewWorld(goal.Env{}) },
+			rounds: 1000,
+		},
+		{
+			name:   "control",
+			g:      ctrlGoal,
+			user:   func() comm.Strategy { return &control.Candidate{D: unitsFam.Dialect(1)} },
+			server: func() comm.Strategy { return server.Dialected(&control.Server{}, unitsFam.Dialect(1)) },
+			world:  func() goal.World { return ctrlGoal.NewWorld(goal.Env{Choice: 3}) },
+			rounds: 1000,
+		},
+		{
+			name:   "learning",
+			g:      learnGoal,
+			user:   func() comm.Strategy { return &learning.ThresholdUser{Concept: 7} },
+			server: func() comm.Strategy { return server.Obstinate() },
+			world:  func() goal.World { return learnGoal.NewWorld(goal.Env{Choice: 7}) },
+			rounds: 1000,
+		},
+		{
+			// Finite goal: g stays nil (no compact referee). A
+			// mismatched dialect keeps the loop running the whole
+			// horizon — the steady state is the retrying conversation.
+			name:   "delegation",
+			user:   func() comm.Strategy { return &delegation.Candidate{D: delFam.Dialect(1)} },
+			server: func() comm.Strategy { return server.Dialected(&delegation.Server{}, delFam.Dialect(2)) },
+			world:  func() goal.World { return delGoal.NewWorld(goal.Env{Choice: 1}) },
+			rounds: 1000,
+		},
+	}
+}
+
+// TestFastPathParity pins the two hot-path contracts on real executions
+// of every stock goal:
+//
+//   - StateAppender: the state the engine materializes (buffer-backed,
+//     interned) equals Snapshot() byte for byte, every round.
+//   - WorldJudge: AcceptableWorld equals Acceptable on the history
+//     ending in that state, every round.
+func TestFastPathParity(t *testing.T) {
+	for _, su := range stockSetups(t) {
+		t.Run(su.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 5; seed++ {
+				var lastState comm.WorldState
+				scratch := comm.History{States: make([]comm.WorldState, 1)}
+				judge, hasJudge := su.g.(goal.WorldJudge)
+				cfg := system.Config{
+					MaxRounds: 200,
+					Seed:      seed,
+					Record:    system.RecordOff,
+					OnRound: func(round int, rv comm.RoundView, state comm.WorldState) {
+						lastState = state
+					},
+					OnRoundLive: func(round int, rv comm.RoundView, w goal.World) {
+						// Engine-materialized state vs the plain Snapshot
+						// path: the StateAppender/interning contract.
+						if direct := w.Snapshot(); direct != lastState {
+							t.Fatalf("seed %d round %d: engine state %q != Snapshot %q", seed, round, lastState, direct)
+						}
+						if !hasJudge {
+							return
+						}
+						scratch.States[0] = lastState
+						scratch.Dropped = round
+						if judge.AcceptableWorld(w) != su.g.Acceptable(scratch) {
+							t.Fatalf("seed %d round %d: AcceptableWorld disagrees with Acceptable on %q", seed, round, lastState)
+						}
+					},
+				}
+				res, err := system.Run(su.user(), su.server(), su.world(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				system.ReleaseResult(res)
+			}
+		})
+	}
+}
+
+// allocBudgets pins the steady-state allocation cost of a full
+// execution (1000 rounds) per stock goal and retention policy. The
+// budgets are whole-run counts, not per-round: a handful of setup
+// allocations (per-party RNG splits, first-time message caches) plus the
+// per-round cost. Learning's protocol genuinely changes every round
+// (query ids grow without bound), so its floor is ~1 alloc/round; every
+// other goal's loop is allocation-free once warm. Generous slack (~2x)
+// over measured values keeps the pins insensitive to pool/GC timing
+// while still failing loudly if Sprintf-style per-round allocation
+// creeps back (which costs thousands per run).
+//
+// Window budgets for goals whose recorded states embed a monotone
+// counter (printing's printed count, learning's answered count) also
+// absorb one generational flush of the snapshot interner: when the
+// shared per-worker table fills mid-run, the run's remaining distinct
+// states re-allocate once (~1 per state transition, bounded by the
+// round count).
+var allocBudgets = map[string]struct{ off, window float64 }{
+	"treasure":   {off: 50, window: 60},
+	"printing":   {off: 120, window: 800},
+	"transfer":   {off: 220, window: 300},
+	"control":    {off: 160, window: 350},
+	"learning":   {off: 2600, window: 3300},
+	"delegation": {off: 160, window: 200},
+}
+
+// TestSteadyStateAllocBudgets is the alloc-gated benchmark in test form:
+// testing.AllocsPerRun over full executions, failing go test when a goal
+// regresses past its budget instead of silently eroding throughput.
+func TestSteadyStateAllocBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pins are not meaningful under -short")
+	}
+	for _, su := range stockSetups(t) {
+		budget, ok := allocBudgets[su.name]
+		if !ok {
+			t.Fatalf("no allocation budget declared for %q", su.name)
+		}
+		for _, rec := range []struct {
+			name   string
+			policy system.RecordPolicy
+			limit  float64
+		}{
+			{"off", system.RecordOff, budget.off},
+			{"window10", system.RecordWindow(10), budget.window},
+		} {
+			t.Run(su.name+"/"+rec.name, func(t *testing.T) {
+				// Parties are constructed once and Reset per run by the
+				// engine — the steady-state regime of a warm batch
+				// worker.
+				user, srv, world := su.user(), su.server(), su.world()
+				cfg := system.Config{MaxRounds: su.rounds, Seed: 1, Record: rec.policy}
+				run := func() {
+					res, err := system.Run(user, srv, world, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					system.ReleaseResult(res)
+				}
+				run() // warm caches and pools outside the measurement
+				allocs := testing.AllocsPerRun(5, run)
+				t.Logf("%s/%s: %.1f allocs per %d-round execution", su.name, rec.name, allocs, su.rounds)
+				if allocs > rec.limit {
+					t.Errorf("%s/%s: %.1f allocs per execution exceeds the budget of %.0f — a per-round allocation crept into the hot path",
+						su.name, rec.name, allocs, rec.limit)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineRoundAllocCeiling pins the ISSUE 5 acceptance number
+// directly: the EngineRound micro-benchmark's steady-state execution
+// (1000 silent rounds, RecordOff, result released) must stay under 100
+// allocations — it was ~504 before the hot-path work.
+func TestEngineRoundAllocCeiling(t *testing.T) {
+	usr := &treasure.Candidate{Guess: 0}
+	srv := server.Obstinate()
+	w := &treasure.World{}
+	cfg := system.Config{MaxRounds: 1000, Seed: 1, Record: system.RecordOff}
+	run := func() {
+		res, err := system.Run(usr, srv, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		system.ReleaseResult(res)
+	}
+	run()
+	allocs := testing.AllocsPerRun(10, run)
+	t.Logf("engine round loop: %.1f allocs per 1000-round execution", allocs)
+	if allocs >= 100 {
+		t.Errorf("engine round loop allocates %.1f times per 1000-round execution, acceptance ceiling is <100", allocs)
+	}
+}
+
+// TestUniversalUserSteadyAllocs pins the full sweep-shaped stack — a
+// universal user (enumeration + sensing) over a dialected server — in
+// its converged steady state: once the matching candidate is installed,
+// switching stops and the loop must stay within budget.
+func TestUniversalUserSteadyAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pins are not meaningful under -short")
+	}
+	fam, err := dialect.NewWordFamily(printing.Vocabulary(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &printing.Goal{}
+	mk := func() comm.Strategy {
+		u, err := universal.NewCompactUser(printing.Enum(fam), printing.Sense(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	user := mk()
+	srv := server.Dialected(&printing.Server{}, fam.Dialect(2))
+	world := g.NewWorld(goal.Env{})
+	cfg := system.Config{MaxRounds: 1000, Seed: 1, Record: system.RecordOff}
+	run := func() {
+		res, err := system.Run(user, srv, world, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		system.ReleaseResult(res)
+	}
+	run()
+	allocs := testing.AllocsPerRun(5, run)
+	t.Logf("universal printing user: %.1f allocs per 1000-round execution", allocs)
+	// Convergence burns a few dozen allocations on candidate switches
+	// (fresh candidate + RNG per eviction) before settling; the budget
+	// allows that plus slack, but not per-round allocation (1000+).
+	if allocs > 400 {
+		t.Errorf("universal user execution allocates %.1f times, budget 400", allocs)
+	}
+}
+
+// BenchmarkSweepStack reports the sweep-shaped hot path end to end for
+// profiling convenience: go test -bench SweepStack -benchmem.
+func BenchmarkSweepStack(b *testing.B) {
+	for _, su := range stockSetups(b) {
+		if su.g == nil {
+			continue
+		}
+		b.Run(su.name, func(b *testing.B) {
+			user, srv, world := su.user(), su.server(), su.world()
+			judge, _ := su.g.(goal.WorldJudge)
+			if judge == nil {
+				b.Fatalf("%s: stock compact goal without WorldJudge", su.name)
+			}
+			lastBad := 0
+			cfg := system.Config{
+				MaxRounds: su.rounds,
+				Seed:      1,
+				Record:    system.RecordOff,
+				OnRoundLive: func(round int, rv comm.RoundView, w goal.World) {
+					if !judge.AcceptableWorld(w) {
+						lastBad = round + 1
+					}
+				},
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := system.Run(user, srv, world, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				system.ReleaseResult(res)
+			}
+			_ = lastBad
+		})
+	}
+}

@@ -37,12 +37,20 @@ func runServe(args []string, stdout, stderr io.Writer) (retErr error) {
 		csvOut       = fs.Bool("csv", false, "emit the merged aggregates as CSV")
 		outPath      = fs.String("out", "", "write output to this file instead of stdout")
 		benchPath    = fs.String("bench", "", "also write a throughput artifact (JSON with timings and the worker count) to this file; skipped with a warning if workers served trials from a warm cache")
+		cpuProfile   = fs.String("cpuprofile", "", "refused: profile a local goalsweep run instead")
+		memProfile   = fs.String("memprofile", "", "refused: profile a local goalsweep run instead")
 		filters      filterFlags
 	)
 	fs.Var(&filters, "filter", "restrict an axis: axis=v1,v2 (repeatable)")
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" || *memProfile != "" {
+		// A coordinator's profile records protocol plumbing while the
+		// actual sweep burns CPU in the worker fleet — the artifact would
+		// interleave processes and mislead. The hot path is a local run.
+		return fmt.Errorf("serve does not support -cpuprofile/-memprofile: the sweep executes in the worker fleet, so the profile would not cover it; profile a local run (goalsweep -builtin ... -cpuprofile ...)")
 	}
 	if *jsonOut && *csvOut {
 		return fmt.Errorf("-json and -csv are mutually exclusive")
@@ -104,8 +112,10 @@ func runServe(args []string, stdout, stderr io.Writer) (retErr error) {
 		} else {
 			// The distributed artifact's effective parallelism is the
 			// fleet's: the sum of the submitting workers' trial pools.
+			// Mallocs is 0: the sweep's allocations happened in the
+			// worker processes' heaps, which the coordinator cannot see.
 			submitters, totalParallel := coord.Submitters()
-			if err := writeBench(*benchPath, sum, elapsed, totalParallel, submitters); err != nil {
+			if err := writeBench(*benchPath, sum, elapsed, totalParallel, submitters, 0); err != nil {
 				return err
 			}
 		}
@@ -138,10 +148,18 @@ func runWork(args []string, stdout, stderr io.Writer) error {
 		parallel    = fs.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
 		poll        = fs.Duration("poll", 500*time.Millisecond, "backoff between lease attempts while all shards are claimed elsewhere")
 		id          = fs.String("id", "", "worker name in coordinator accounting (default derived from the process ID)")
+		cpuProfile  = fs.String("cpuprofile", "", "refused: profile a local goalsweep run instead")
+		memProfile  = fs.String("memprofile", "", "refused: profile a local goalsweep run instead")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" || *memProfile != "" {
+		// One worker's profile covers an arbitrary, lease-dependent slice
+		// of the sweep interleaved with the rest of the fleet's — not a
+		// reproducible artifact. The hot path is identical in a local run.
+		return fmt.Errorf("work does not support -cpuprofile/-memprofile: a worker profiles an arbitrary slice of a fleet's sweep; profile a local run (goalsweep -builtin ... -cpuprofile ...)")
 	}
 	if *coordinator == "" {
 		return fmt.Errorf("work needs -coordinator URL (the address goalsweep serve printed)")

@@ -52,6 +52,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -107,6 +108,8 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		shardSpec   = fs.String("shard", "", "run only shard i/n of the selection (1-based, e.g. 2/3); with -json, emits a mergeable shard envelope")
 		cacheDir    = fs.String("cache", "", "content-addressed result cache directory; stored scenarios skip execution, byte-identically")
 		fingerprint = fs.Bool("fingerprint", false, "print the sweep fingerprint (cache/merge identity) and exit without executing")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file (pprof format)")
+		memProfile  = fs.String("memprofile", "", "write a heap profile, taken after the sweep completes, to this file (pprof format)")
 		filters     filterFlags
 	)
 	fs.Var(&filters, "filter", "restrict an axis: axis=v1,v2 (repeatable)")
@@ -197,12 +200,59 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		stats = append(stats, st)
 		return nil
 	}
+	// Both profile files are created before the sweep so a bad path
+	// fails fast instead of discarding a completed run's results.
+	var memProfileFile *os.File
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		memProfileFile = f
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		// Stopped explicitly right after the sweep so the profile covers
+		// exactly the trial execution, not report rendering; the deferred
+		// stop is a no-op then and only matters on error paths.
+		defer pprof.StopCPUProfile()
+	}
+	// Allocation accounting for the -bench artifact: a MemStats snapshot
+	// on either side of the sweep. Only taken when asked — ReadMemStats
+	// stops the world.
+	var memBefore runtime.MemStats
+	if *benchPath != "" {
+		runtime.ReadMemStats(&memBefore)
+	}
 	start := time.Now()
 	sum, err := m.Sweep(indices, cfg)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	var mallocs int64
+	if *benchPath != "" {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		mallocs = int64(memAfter.Mallocs - memBefore.Mallocs)
+	}
+	if memProfileFile != nil {
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(memProfileFile); err != nil {
+			return err
+		}
+	}
 
 	if *cacheDir != "" {
 		// Cache accounting goes to stderr so every report stream stays
@@ -215,7 +265,7 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		}
 	}
 	if *benchPath != "" {
-		if err := writeBench(*benchPath, sum, elapsed, *parallel, 1); err != nil {
+		if err := writeBench(*benchPath, sum, elapsed, *parallel, 1, mallocs); err != nil {
 			return err
 		}
 	}
@@ -365,6 +415,7 @@ func runMerge(args []string, stdout io.Writer) (retErr error) {
 func runBenchcmp(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("goalsweep benchcmp", flag.ContinueOnError)
 	maxDrop := fs.Float64("maxdrop", 0.5, "fail when roundsPerSec drops by more than this fraction of the baseline")
+	maxAllocGrow := fs.Float64("maxallocgrow", 0.5, "fail when allocsPerRound grows by more than this fraction of the baseline (checked only when both artifacts carry allocation counts)")
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -420,9 +471,26 @@ func runBenchcmp(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "spec %q: %s %.0f -> %.0f (%+.1f%%), trialsPerSec %.0f -> %.0f, parallel %d -> %d\n",
 		baseline.Spec, unit, baseRate, freshRate, 100*change,
 		baseline.TrialsPerSec, fresh.TrialsPerSec, baseline.Parallel, fresh.Parallel)
+	// Allocation discipline line: allocs/round is host-independent, so
+	// unlike the throughput check it is meaningful across machines. Only
+	// present when both artifacts carry counts — artifacts predating
+	// allocation accounting (and distributed ones) compare on rate alone.
+	allocChange := 0.0
+	allocChecked := baseline.AllocsPerRound > 0 && fresh.AllocsPerRound > 0
+	if allocChecked {
+		allocChange = fresh.AllocsPerRound/baseline.AllocsPerRound - 1
+		fmt.Fprintf(stdout, "spec %q: allocsPerRound %.2f -> %.2f (%+.1f%%)\n",
+			baseline.Spec, baseline.AllocsPerRound, fresh.AllocsPerRound, 100*allocChange)
+	}
+	// Throughput is judged first: when both regress, the rate collapse
+	// is the headline, not the allocation growth that likely caused it.
 	if drop := -change; drop > *maxDrop {
 		return fmt.Errorf("%s regression: %.1f%% drop exceeds -maxdrop %.0f%%",
 			unit, 100*drop, 100**maxDrop)
+	}
+	if allocChecked && allocChange > *maxAllocGrow {
+		return fmt.Errorf("allocation regression: allocsPerRound grew %.1f%%, exceeds -maxallocgrow %.0f%%",
+			100*allocChange, 100**maxAllocGrow)
 	}
 	return nil
 }
@@ -571,8 +639,11 @@ func writeTable(out io.Writer, m *scenario.Matrix, spec *scenario.Spec,
 // comparable across hosts. workers is the number of worker processes that
 // produced the sweep: 1 for a local run, the coordinator's distinct
 // submitter count for a distributed one (with parallel then totalling the
-// fleet's pools).
-func writeBench(path string, sum *scenario.Summary, elapsed time.Duration, parallel, workers int) error {
+// fleet's pools). mallocs is the process's heap-allocation count over the
+// sweep (0 = unmeasured, e.g. a coordinator whose allocations happened in
+// worker processes); unlike timings it is host-independent, which makes
+// allocsPerRound the most portable regression signal in the artifact.
+func writeBench(path string, sum *scenario.Summary, elapsed time.Duration, parallel, workers int, mallocs int64) error {
 	if parallel < 1 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -588,10 +659,14 @@ func writeBench(path string, sum *scenario.Summary, elapsed time.Duration, paral
 		Parallel:    parallel,
 		Workers:     workers,
 		ElapsedNs:   elapsed.Nanoseconds(),
+		Mallocs:     mallocs,
 	}
 	if secs > 0 {
 		b.TrialsPerSec = float64(sum.Trials) / secs
 		b.RoundsPerSec = float64(sum.TotalRounds) / secs
+	}
+	if mallocs > 0 && sum.TotalRounds > 0 {
+		b.AllocsPerRound = float64(mallocs) / float64(sum.TotalRounds)
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -175,9 +175,48 @@ func TestBenchArtifact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"spec": "quick"`, `"roundsPerSec"`, `"trials": 12`} {
+	for _, want := range []string{`"spec": "quick"`, `"roundsPerSec"`, `"trials": 12`, `"mallocs"`, `"allocsPerRound"`} {
 		if !strings.Contains(string(data), want) {
 			t.Fatalf("bench artifact missing %s:\n%s", want, data)
+		}
+	}
+	var b harness.SweepBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Mallocs <= 0 || b.AllocsPerRound <= 0 {
+		t.Fatalf("bench artifact without allocation accounting: mallocs=%d allocsPerRound=%g", b.Mallocs, b.AllocsPerRound)
+	}
+	// No magnitude ceiling here: mallocs is a process-wide MemStats
+	// delta, and this package's tests run in parallel (the dist tests
+	// sweep whole matrices concurrently), so any tight bound would be
+	// flaky. The precise per-goal allocation gates live in the root
+	// alloc_test.go, measured with testing.AllocsPerRun.
+}
+
+// TestProfileFlags pins the -cpuprofile/-memprofile surface: a local
+// sweep writes both profiles; serve and work refuse them.
+func TestProfileFlags(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	runSweep(t, "-builtin", "quick", "-cpuprofile", cpu, "-memprofile", mem, "-out", filepath.Join(dir, "out.txt"))
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+	}
+	var b strings.Builder
+	for _, args := range [][]string{
+		{"serve", "-builtin", "quick", "-cpuprofile", cpu},
+		{"serve", "-builtin", "quick", "-memprofile", mem},
+		{"work", "-coordinator", "http://127.0.0.1:1", "-cpuprofile", cpu},
+		{"work", "-coordinator", "http://127.0.0.1:1", "-memprofile", mem},
+	} {
+		if err := run(args, &b, io.Discard); err == nil ||
+			!strings.Contains(err.Error(), "profile a local run") {
+			t.Fatalf("goalsweep %v accepted profiling flags: %v", args, err)
 		}
 	}
 }
@@ -437,5 +476,55 @@ func TestBenchcmp(t *testing.T) {
 	}
 	if err := run([]string{"benchcmp", base}, &b, io.Discard); err == nil {
 		t.Fatal("benchcmp with one file accepted")
+	}
+}
+
+// TestBenchcmpAllocGate pins the allocation half of the gate: growth in
+// allocsPerRound beyond -maxallocgrow fails even when throughput held,
+// and artifacts without counts (pre-accounting or distributed) are
+// compared on rate alone.
+func TestBenchcmpAllocGate(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	write := func(name string, b harness.SweepBench) string {
+		t.Helper()
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	mk := func(rps, apr float64) harness.SweepBench {
+		b := harness.SweepBench{Spec: "default", Scenarios: 288, Trials: 576,
+			RoundsPerSec: rps, Parallel: 1, AllocsPerRound: apr}
+		if apr > 0 {
+			b.Mallocs = int64(apr * 460800)
+		}
+		return b
+	}
+	base := write("base.json", mk(1e6, 0.6))
+	lean := write("lean.json", mk(1e6, 0.7))       // +17%: fine
+	bloated := write("bloated.json", mk(1e6, 1.2)) // +100%: regression despite equal rate
+	uncounted := write("uncounted.json", mk(1e6, 0))
+
+	out := runSweep(t, "benchcmp", base, lean)
+	if !strings.Contains(out, "allocsPerRound 0.60 -> 0.70") {
+		t.Fatalf("alloc comparison missing from output: %q", out)
+	}
+	var b strings.Builder
+	if err := run([]string{"benchcmp", base, bloated}, &b, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "allocation regression") {
+		t.Fatalf("doubled allocsPerRound passed the gate: %v", err)
+	}
+	runSweep(t, "benchcmp", "-maxallocgrow", "1.5", base, bloated) // loosened gate passes
+	// No counts on one side: rate-only comparison, no alloc line.
+	out = runSweep(t, "benchcmp", base, uncounted)
+	if strings.Contains(out, "allocsPerRound") {
+		t.Fatalf("alloc comparison printed for an uncounted artifact: %q", out)
 	}
 }

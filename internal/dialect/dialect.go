@@ -23,6 +23,13 @@ import (
 )
 
 // Dialect is an invertible encoding of messages.
+//
+// Implementations must be pure functions of the message: Encode and
+// Decode may not depend on call order, randomness or external state.
+// Callers rely on this — server.Dialected memoizes translations and
+// candidate strategies cache encoded commands, so an impure dialect
+// would be served stale translations. Model randomness (noise, drops)
+// with a server transform (server.Noisy), not inside a dialect.
 type Dialect interface {
 	// ID is the dialect's index within its family.
 	ID() int

@@ -49,7 +49,7 @@ func RunF2(cfg Config) (*harness.Report, error) {
 		Config: system.Config{
 			MaxRounds: 50 * famSize,
 			Seed:      cfg.seed(),
-			OnRound: func(round int, _ comm.RoundView, _ comm.WorldState) {
+			OnRoundLive: func(round int, _ comm.RoundView, _ goal.World) {
 				xs = append(xs, float64(round))
 				ys = append(ys, float64(u.Index()))
 			},

@@ -84,7 +84,7 @@ func RunT4(cfg Config) (*harness.Report, error) {
 				World: func() goal.World { return g.NewWorld(goal.Env{Choice: srvIdx}) },
 				Config: system.Config{
 					MaxRounds: horizon, Seed: cfg.seed(),
-					OnRound: func(round int, _ comm.RoundView, _ comm.WorldState) {
+					OnRoundLive: func(round int, _ comm.RoundView, _ goal.World) {
 						if round == checkpoint {
 							tr.switchesAtCheckpoint = tr.u.Switches()
 						}

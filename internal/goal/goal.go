@@ -67,6 +67,36 @@ type World interface {
 	Snapshot() comm.WorldState
 }
 
+// StateAppender is an optional World refinement for the engine's hot
+// path: a world that can serialize its snapshot into a caller-provided
+// buffer instead of allocating a fresh string per round.
+//
+// Contract: AppendSnapshot(dst) appends exactly the bytes of Snapshot()
+// to dst and returns the extended slice — the two encodings must never
+// diverge, because referees judge whichever one the execution engine
+// materialized. The engine interns the appended bytes into shared
+// WorldState strings; interning cannot change observable output, since
+// equal states intern to strings with equal bytes.
+type StateAppender interface {
+	// AppendSnapshot appends the world's current snapshot to dst.
+	AppendSnapshot(dst []byte) []byte
+}
+
+// WorldJudge is an optional CompactGoal refinement for the engine's hot
+// path: a referee that can judge the live world directly, so per-round
+// trackers never round-trip through a formatted snapshot string.
+//
+// Contract: AcceptableWorld(w) must equal Acceptable(h) for any history
+// h whose last state is w's current Snapshot() — it is the same
+// predicate, evaluated before serialization. Implementations that
+// receive a world type they do not recognize must fall back to judging
+// the snapshot.
+type WorldJudge interface {
+	// AcceptableWorld reports whether a history ending in w's current
+	// state is acceptable.
+	AcceptableWorld(w World) bool
+}
+
 // Goal fixes a world strategy (up to its non-deterministic choice) and gives
 // the referee access via the FiniteGoal or CompactGoal refinement.
 type Goal interface {

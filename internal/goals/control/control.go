@@ -31,6 +31,7 @@ import (
 	"repro/internal/dialect"
 	"repro/internal/enumerate"
 	"repro/internal/goal"
+	"repro/internal/msgbuf"
 	"repro/internal/sensing"
 	"repro/internal/xrand"
 )
@@ -71,6 +72,34 @@ func (u Units) ID() int { return u.Idx }
 // Name implements dialect.Dialect.
 func (u Units) Name() string { return fmt.Sprintf("units(%+d)#%d", u.Off, u.Idx) }
 
+// Cached protocol messages for the force range commands and replies
+// actually use: |argument| never exceeds 2*MaxForce (a clamped intent
+// shifted by a calibration offset that is itself at most MaxForce), so
+// the steady-state control loop allocates no message strings at all.
+const msgCacheSpan = 2 * MaxForce
+
+var (
+	moveMsgs  [2*msgCacheSpan + 1]comm.Message
+	movedMsgs [2*msgCacheSpan + 1]comm.Message
+	forceMsgs [2*msgCacheSpan + 1]comm.Message
+)
+
+func init() {
+	for n := -msgCacheSpan; n <= msgCacheSpan; n++ {
+		moveMsgs[n+msgCacheSpan] = comm.Message("MOVE " + strconv.Itoa(n))
+		movedMsgs[n+msgCacheSpan] = comm.Message("MOVED " + strconv.Itoa(n))
+		forceMsgs[n+msgCacheSpan] = comm.Message("FORCE " + strconv.Itoa(n))
+	}
+}
+
+// moveMsg returns "MOVE <n>", cached for the protocol's argument range.
+func moveMsg(n int) comm.Message {
+	if n >= -msgCacheSpan && n <= msgCacheSpan {
+		return moveMsgs[n+msgCacheSpan]
+	}
+	return comm.Message("MOVE " + strconv.Itoa(n))
+}
+
 func shiftMove(m comm.Message, delta int) comm.Message {
 	rest, ok := strings.CutPrefix(string(m), "MOVE ")
 	if !ok {
@@ -80,7 +109,7 @@ func shiftMove(m comm.Message, delta int) comm.Message {
 	if err != nil {
 		return m
 	}
-	return comm.Message("MOVE " + strconv.Itoa(n+delta))
+	return moveMsg(n + delta)
 }
 
 // Encode implements dialect.Dialect.
@@ -131,6 +160,7 @@ type Goal struct {
 var (
 	_ goal.CompactGoal = (*Goal)(nil)
 	_ goal.Forgiving   = (*Goal)(nil)
+	_ goal.WorldJudge  = (*Goal)(nil)
 )
 
 func (g *Goal) span() int {
@@ -166,6 +196,16 @@ func (g *Goal) Acceptable(prefix comm.History) bool {
 	return strings.HasSuffix(string(prefix.Last()), "at=1")
 }
 
+// AcceptableWorld implements goal.WorldJudge: the same predicate as
+// Acceptable ("at=1" iff the plant sits at the setpoint), judged on the
+// live plant.
+func (g *Goal) AcceptableWorld(w goal.World) bool {
+	if pw, ok := w.(*World); ok {
+		return pw.pos == pw.set
+	}
+	return strings.HasSuffix(string(w.Snapshot()), "at=1")
+}
+
 // ForgivingGoal implements goal.Forgiving: the plant can always still be
 // driven to the setpoint.
 func (g *Goal) ForgivingGoal() bool { return true }
@@ -176,12 +216,22 @@ func (g *Goal) ForgivingGoal() bool { return true }
 type World struct {
 	initPos  int
 	pos, set int
+
+	status    comm.Message // cached telemetry, rebuilt when pos changes
+	statusPos int
+	buf       []byte // reusable build buffer for status and snapshots
 }
 
-var _ goal.World = (*World)(nil)
+var (
+	_ goal.World         = (*World)(nil)
+	_ goal.StateAppender = (*World)(nil)
+)
 
 // Reset implements comm.Strategy.
-func (w *World) Reset(*xrand.Rand) { w.pos = w.initPos }
+func (w *World) Reset(*xrand.Rand) {
+	w.pos = w.initPos
+	w.status = ""
+}
 
 // Pos returns the current plant position (for tests).
 func (w *World) Pos() int { return w.pos }
@@ -193,17 +243,35 @@ func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {
 			w.pos += clamp(f, MaxForce)
 		}
 	}
-	msg := fmt.Sprintf("POS %d|SET %d", w.pos, w.set)
-	return comm.Outbox{ToUser: comm.Message(msg)}, nil
+	// The telemetry message only changes when the plant moves; a settled
+	// loop re-sends one cached string.
+	if w.status == "" || w.statusPos != w.pos {
+		w.buf = append(w.buf[:0], "POS "...)
+		w.buf = msgbuf.AppendInt(w.buf, w.pos)
+		w.buf = append(w.buf, "|SET "...)
+		w.buf = msgbuf.AppendInt(w.buf, w.set)
+		w.status = comm.Message(w.buf)
+		w.statusPos = w.pos
+	}
+	return comm.Outbox{ToUser: w.status}, nil
 }
 
 // Snapshot implements goal.World.
 func (w *World) Snapshot() comm.WorldState {
-	at := 0
+	return comm.WorldState(w.AppendSnapshot(nil))
+}
+
+// AppendSnapshot implements goal.StateAppender:
+// "pos=<p>;set=<s>;at=<0|1>", byte-identical to Snapshot.
+func (w *World) AppendSnapshot(dst []byte) []byte {
+	dst = append(dst, "pos="...)
+	dst = msgbuf.AppendInt(dst, w.pos)
+	dst = append(dst, ";set="...)
+	dst = msgbuf.AppendInt(dst, w.set)
 	if w.pos == w.set {
-		at = 1
+		return append(dst, ";at=1"...)
 	}
-	return comm.WorldState(fmt.Sprintf("pos=%d;set=%d;at=%d", w.pos, w.set, at))
+	return append(dst, ";at=0"...)
 }
 
 // ParsePlant decodes the world's status message.
@@ -248,8 +316,8 @@ func (*Server) Step(in comm.Inbox) (comm.Outbox, error) {
 	}
 	n = clamp(n, MaxForce)
 	return comm.Outbox{
-		ToUser:  comm.Message("MOVED " + strconv.Itoa(n)),
-		ToWorld: comm.Message("FORCE " + strconv.Itoa(n)),
+		ToUser:  movedMsgs[n+msgCacheSpan],
+		ToWorld: forceMsgs[n+msgCacheSpan],
 	}, nil
 }
 
@@ -286,8 +354,7 @@ func (c *Candidate) Step(in comm.Inbox) (comm.Outbox, error) {
 		return comm.Outbox{}, nil
 	}
 	d := clamp(set-pos, MaxForce)
-	cmd := comm.Message("MOVE " + strconv.Itoa(d))
-	return comm.Outbox{ToServer: c.D.Encode(cmd)}, nil
+	return comm.Outbox{ToServer: c.D.Encode(moveMsg(d))}, nil
 }
 
 // Enum enumerates one Candidate per calibration in the family.
@@ -410,8 +477,7 @@ func (a *Adaptive) Step(in comm.Inbox) (comm.Outbox, error) {
 	if d == 0 {
 		d = sign(set - pos)
 	}
-	cmd := "MOVE " + strconv.Itoa(d+a.offset)
-	return comm.Outbox{ToServer: comm.Message(cmd)}, nil
+	return comm.Outbox{ToServer: moveMsg(d + a.offset)}, nil
 }
 
 func abs(x int) int {

@@ -21,7 +21,6 @@
 package delegation
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 
@@ -29,6 +28,7 @@ import (
 	"repro/internal/dialect"
 	"repro/internal/enumerate"
 	"repro/internal/goal"
+	"repro/internal/msgbuf"
 	"repro/internal/sensing"
 	"repro/internal/xrand"
 )
@@ -202,9 +202,14 @@ type World struct {
 	instance Instance
 	answered bool
 	solved   bool
+
+	announce comm.Message // cached "INSTANCE <encoded>" (instance is fixed per world)
 }
 
-var _ goal.World = (*World)(nil)
+var (
+	_ goal.World         = (*World)(nil)
+	_ goal.StateAppender = (*World)(nil)
+)
 
 // Instance returns the posed instance (for tests and examples).
 func (w *World) Instance() Instance { return w.instance }
@@ -223,48 +228,71 @@ func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {
 			w.solved = true
 		}
 	}
-	return comm.Outbox{ToUser: comm.Message("INSTANCE " + w.instance.Encode())}, nil
+	if w.announce == "" {
+		w.announce = comm.Message("INSTANCE " + w.instance.Encode())
+	}
+	return comm.Outbox{ToUser: w.announce}, nil
+}
+
+// delegationStates holds the four snapshot encodings; the world's state
+// space is tiny, so snapshots never allocate.
+var delegationStates = [2][2]comm.WorldState{
+	{"answered=0;solved=0", "answered=0;solved=1"},
+	{"answered=1;solved=0", "answered=1;solved=1"},
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Snapshot implements goal.World.
 func (w *World) Snapshot() comm.WorldState {
-	b2i := func(b bool) int {
-		if b {
-			return 1
-		}
-		return 0
-	}
-	return comm.WorldState(fmt.Sprintf("answered=%d;solved=%d", b2i(w.answered), b2i(w.solved)))
+	return delegationStates[b2i(w.answered)][b2i(w.solved)]
+}
+
+// AppendSnapshot implements goal.StateAppender, byte-identical to
+// Snapshot.
+func (w *World) AppendSnapshot(dst []byte) []byte {
+	return append(dst, delegationStates[b2i(w.answered)][b2i(w.solved)]...)
 }
 
 // Server is the solver's native protocol: on "SOLVE <instance>" it replies
 // "WITNESS <mask>" (or stays silent on unsolvable/malformed instances).
 // Wrap with server.Dialected to build the class of foreign-protocol
 // solvers.
-type Server struct{}
+//
+// Step is a pure function of the incoming command; the single-command
+// memo spares re-running the witness search when an impatient user
+// re-sends the same SOLVE while the previous reply is in flight.
+type Server struct {
+	memo msgbuf.Memo1[comm.Message, comm.Outbox]
+}
 
 var _ comm.Strategy = (*Server)(nil)
 
 // Reset implements comm.Strategy.
-func (*Server) Reset(*xrand.Rand) {}
+func (s *Server) Reset(*xrand.Rand) { s.memo.Reset() }
 
 // Step implements comm.Strategy.
-func (*Server) Step(in comm.Inbox) (comm.Outbox, error) {
+func (s *Server) Step(in comm.Inbox) (comm.Outbox, error) {
 	rest, ok := strings.CutPrefix(string(in.FromUser), cmdSolve+" ")
 	if !ok {
 		return comm.Outbox{}, nil
 	}
-	ins, ok := ParseInstance(rest)
-	if !ok {
-		return comm.Outbox{}, nil
+	if out, ok := s.memo.Get(in.FromUser); ok {
+		return out, nil
 	}
-	mask, ok := ins.Solve()
-	if !ok {
-		return comm.Outbox{}, nil
+	out := comm.Outbox{}
+	if ins, ok := ParseInstance(rest); ok {
+		if mask, ok := ins.Solve(); ok {
+			out.ToUser = comm.Message(rspWitness + " " + strconv.FormatUint(mask, 10))
+		}
 	}
-	return comm.Outbox{
-		ToUser: comm.Message(rspWitness + " " + strconv.FormatUint(mask, 10)),
-	}, nil
+	s.memo.Put(in.FromUser, out)
+	return out, nil
 }
 
 // Candidate is the dialect-d delegation user: relay the instance to the
@@ -277,6 +305,7 @@ type Candidate struct {
 	submitted bool
 	halted    bool
 	elapsed   int
+	solveCmd  msgbuf.Memo1[string, comm.Message] // encoded "SOLVE <instance>", built once per instance
 }
 
 var (
@@ -319,11 +348,16 @@ func (c *Candidate) Step(in comm.Inbox) (comm.Outbox, error) {
 	if c.instance == "" {
 		return comm.Outbox{}, nil
 	}
-	// (Re)issue the solve request every other round.
+	// (Re)issue the solve request every other round; the instance is
+	// fixed per execution, so the encoded request is built once
+	// (dialects are pure).
 	if c.elapsed%2 == 0 {
-		return comm.Outbox{
-			ToServer: c.D.Encode(comm.Message(cmdSolve + " " + c.instance)),
-		}, nil
+		cmd, ok := c.solveCmd.Get(c.instance)
+		if !ok {
+			cmd = c.D.Encode(comm.Message(cmdSolve + " " + c.instance))
+			c.solveCmd.Put(c.instance, cmd)
+		}
+		return comm.Outbox{ToServer: cmd}, nil
 	}
 	return comm.Outbox{}, nil
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/enumerate"
 	"repro/internal/goal"
+	"repro/internal/msgbuf"
 	"repro/internal/sensing"
 	"repro/internal/xrand"
 )
@@ -50,6 +51,7 @@ type Goal struct {
 var (
 	_ goal.CompactGoal = (*Goal)(nil)
 	_ goal.Forgiving   = (*Goal)(nil)
+	_ goal.WorldJudge  = (*Goal)(nil)
 )
 
 func (g *Goal) m() int {
@@ -85,6 +87,17 @@ func (g *Goal) NewWorld(env goal.Env) goal.World {
 // "finitely many mistakes".
 func (g *Goal) Acceptable(prefix comm.History) bool {
 	st, ok := ParseState(prefix.Last())
+	return ok && st.Answered > 0 && st.LastOK == 1 && st.Stall <= StallLimit
+}
+
+// AcceptableWorld implements goal.WorldJudge: the same predicate as
+// Acceptable, judged on the live world's counters instead of a parsed
+// snapshot.
+func (g *Goal) AcceptableWorld(w goal.World) bool {
+	if lw, ok := w.(*World); ok {
+		return lw.answered > 0 && lw.lastOK == 1 && lw.stall <= StallLimit
+	}
+	st, ok := ParseState(w.Snapshot())
 	return ok && st.Answered > 0 && st.LastOK == 1 && st.Stall <= StallLimit
 }
 
@@ -164,7 +177,15 @@ type World struct {
 	lastOK   int // -1 none, 0 mistake, 1 correct
 	stall    int
 	lo, hi   int // concepts consistent with revealed labels
+
+	query   comm.Message // cached announcement, rebuilt when (id, x, lastOK) changes
+	queryID int
+	queryX  int
+	queryOK int
+	buf     []byte // reusable build buffer
 }
+
+var _ goal.StateAppender = (*World)(nil)
 
 var _ goal.World = (*World)(nil)
 
@@ -181,6 +202,7 @@ func (w *World) Reset(r *xrand.Rand) {
 	w.stall = 0
 	w.lo, w.hi = 0, w.domain()-1
 	w.x = w.pick()
+	w.query = ""
 }
 
 // pick chooses the next query point per the configured schedule.
@@ -218,10 +240,9 @@ func (w *World) Answered() int { return w.answered }
 func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {
 	w.stall++
 	if rest, ok := strings.CutPrefix(string(in.FromUser), "P "); ok {
-		fields := strings.Fields(rest)
-		if len(fields) == 2 {
-			id, err1 := strconv.Atoi(fields[0])
-			bit, err2 := strconv.Atoi(fields[1])
+		if idStr, bitStr, found := strings.Cut(rest, " "); found {
+			id, err1 := strconv.Atoi(idStr)
+			bit, err2 := strconv.Atoi(bitStr)
 			if err1 == nil && err2 == nil && id == w.id && (bit == 0 || bit == 1) {
 				w.answered++
 				trueLabel := Label(w.Concept, w.x)
@@ -246,21 +267,48 @@ func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {
 			}
 		}
 	}
-	res := "none"
-	switch w.lastOK {
-	case 1:
-		res = "ok"
-	case 0:
-		res = "bad"
+	// The announcement depends only on (id, x, lastOK): rebuild on
+	// change, re-send the cached string while the user stalls.
+	if w.query == "" || w.queryID != w.id || w.queryX != w.x || w.queryOK != w.lastOK {
+		res := "none"
+		switch w.lastOK {
+		case 1:
+			res = "ok"
+		case 0:
+			res = "bad"
+		}
+		w.buf = append(w.buf[:0], "Q "...)
+		w.buf = msgbuf.AppendInt(w.buf, w.id)
+		w.buf = append(w.buf, ' ')
+		w.buf = msgbuf.AppendInt(w.buf, w.x)
+		w.buf = append(w.buf, "|RES "...)
+		w.buf = msgbuf.AppendInt(w.buf, w.id-1)
+		w.buf = append(w.buf, ' ')
+		w.buf = append(w.buf, res...)
+		w.query = comm.Message(w.buf)
+		w.queryID, w.queryX, w.queryOK = w.id, w.x, w.lastOK
 	}
-	msg := fmt.Sprintf("Q %d %d|RES %d %s", w.id, w.x, w.id-1, res)
-	return comm.Outbox{ToUser: comm.Message(msg)}, nil
+	return comm.Outbox{ToUser: w.query}, nil
 }
 
 // Snapshot implements goal.World.
 func (w *World) Snapshot() comm.WorldState {
-	return comm.WorldState(fmt.Sprintf("answered=%d;mistakes=%d;lastok=%d;stall=%d",
-		w.answered, w.mistakes, w.lastOK, w.stall))
+	return comm.WorldState(w.AppendSnapshot(nil))
+}
+
+// AppendSnapshot implements goal.StateAppender:
+// "answered=<n>;mistakes=<n>;lastok=<n>;stall=<n>", byte-identical to
+// Snapshot.
+func (w *World) AppendSnapshot(dst []byte) []byte {
+	dst = append(dst, "answered="...)
+	dst = msgbuf.AppendInt(dst, w.answered)
+	dst = append(dst, ";mistakes="...)
+	dst = msgbuf.AppendInt(dst, w.mistakes)
+	dst = append(dst, ";lastok="...)
+	dst = msgbuf.AppendInt(dst, w.lastOK)
+	dst = append(dst, ";stall="...)
+	dst = msgbuf.AppendInt(dst, w.stall)
+	return dst
 }
 
 // Query is the parsed form of a world announcement.
@@ -270,30 +318,55 @@ type Query struct {
 	Res   string // "ok", "bad" or "none"
 }
 
-// ParseQuery decodes a world→user message.
+// ParseQuery decodes a world→user message. It is on the per-round hot
+// path of every learner, so it parses in place without scanning helpers
+// that allocate, and it accepts exactly the canonical single-space
+// format the world emits — not the whitespace variants a scanf-style
+// parser would tolerate.
 func ParseQuery(m comm.Message) (Query, bool) {
 	qPart, resPart, found := strings.Cut(string(m), "|")
 	if !found {
 		return Query{}, false
 	}
 	var q Query
-	if _, err := fmt.Sscanf(qPart, "Q %d %d", &q.ID, &q.X); err != nil {
+	rest, ok := strings.CutPrefix(qPart, "Q ")
+	if !ok {
 		return Query{}, false
 	}
-	fields := strings.Fields(resPart)
-	if len(fields) != 3 || fields[0] != "RES" {
+	idStr, xStr, found := strings.Cut(rest, " ")
+	if !found {
 		return Query{}, false
 	}
-	resID, err := strconv.Atoi(fields[1])
-	if err != nil {
+	var err error
+	if q.ID, err = strconv.Atoi(idStr); err != nil {
 		return Query{}, false
 	}
-	q.ResID = resID
-	q.Res = fields[2]
+	if q.X, err = strconv.Atoi(xStr); err != nil {
+		return Query{}, false
+	}
+	rest, ok = strings.CutPrefix(resPart, "RES ")
+	if !ok {
+		return Query{}, false
+	}
+	resIDStr, res, found := strings.Cut(rest, " ")
+	if !found {
+		return Query{}, false
+	}
+	if q.ResID, err = strconv.Atoi(resIDStr); err != nil {
+		return Query{}, false
+	}
+	q.Res = res
 	if q.Res != "ok" && q.Res != "bad" && q.Res != "none" {
 		return Query{}, false
 	}
 	return q, true
+}
+
+// answerMsg builds "P <id> <bit>", the single allocation an answering
+// learner makes per round (ids grow without bound, so the message cannot
+// be cached).
+func answerMsg(id, bit int) comm.Message {
+	return comm.Message("P " + msgbuf.Itoa(id) + " " + msgbuf.Itoa(bit))
 }
 
 // ThresholdUser predicts with one fixed threshold concept — candidate
@@ -316,8 +389,7 @@ func (u *ThresholdUser) Step(in comm.Inbox) (comm.Outbox, error) {
 		return comm.Outbox{}, nil
 	}
 	u.lastID = q.ID
-	ans := fmt.Sprintf("P %d %d", q.ID, Label(u.Concept, q.X))
-	return comm.Outbox{ToWorld: comm.Message(ans)}, nil
+	return comm.Outbox{ToWorld: answerMsg(q.ID, Label(u.Concept, q.X))}, nil
 }
 
 // Enum enumerates the M threshold candidates in order; paired with
@@ -347,9 +419,9 @@ func (s *mistakeSense) Reset() { s.answered = nil }
 
 func (s *mistakeSense) Observe(rv comm.RoundView) bool {
 	if rest, ok := strings.CutPrefix(string(rv.Out.ToWorld), "P "); ok {
-		fields := strings.Fields(rest)
-		if len(fields) == 2 {
-			if id, err := strconv.Atoi(fields[0]); err == nil {
+		if idStr, bitStr, found := strings.Cut(rest, " "); found {
+			_, bitErr := strconv.Atoi(bitStr)
+			if id, err := strconv.Atoi(idStr); err == nil && bitErr == nil {
 				if s.answered == nil {
 					s.answered = make(map[int]bool, 4)
 				}
@@ -449,5 +521,5 @@ func (u *HalvingUser) Step(in comm.Inbox) (comm.Outbox, error) {
 		bit = 1
 	}
 	u.pending[q.ID] = answer{x: q.X, bit: bit}
-	return comm.Outbox{ToWorld: comm.Message(fmt.Sprintf("P %d %d", q.ID, bit))}, nil
+	return comm.Outbox{ToWorld: answerMsg(q.ID, bit)}, nil
 }

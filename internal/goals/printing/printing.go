@@ -22,13 +22,13 @@
 package printing
 
 import (
-	"fmt"
 	"strings"
 
 	"repro/internal/comm"
 	"repro/internal/dialect"
 	"repro/internal/enumerate"
 	"repro/internal/goal"
+	"repro/internal/msgbuf"
 	"repro/internal/sensing"
 	"repro/internal/xrand"
 )
@@ -70,6 +70,7 @@ type Goal struct {
 var (
 	_ goal.CompactGoal = (*Goal)(nil)
 	_ goal.Forgiving   = (*Goal)(nil)
+	_ goal.WorldJudge  = (*Goal)(nil)
 )
 
 // DefaultDocs are the target documents used when none are configured.
@@ -109,6 +110,15 @@ func (g *Goal) Acceptable(prefix comm.History) bool {
 	return strings.HasSuffix(string(prefix.Last()), "done=1")
 }
 
+// AcceptableWorld implements goal.WorldJudge: the same predicate as
+// Acceptable, judged on the live printout.
+func (g *Goal) AcceptableWorld(w goal.World) bool {
+	if pw, ok := w.(*World); ok {
+		return pw.done
+	}
+	return strings.HasSuffix(string(w.Snapshot()), "done=1")
+}
+
 // ForgivingGoal implements goal.Forgiving. The goal is forgiving only with
 // an unlimited paper tray.
 func (g *Goal) ForgivingGoal() bool { return g.Paper == 0 }
@@ -124,9 +134,16 @@ type World struct {
 	paper   int // 0 = unlimited
 	printed []string
 	done    bool
+
+	status     comm.Message // cached announcement, rebuilt when the last printout changes
+	statusLast string
+	buf        []byte // reusable build buffer
 }
 
-var _ goal.World = (*World)(nil)
+var (
+	_ goal.World         = (*World)(nil)
+	_ goal.StateAppender = (*World)(nil)
+)
 
 // Target returns the document the user is tasked with printing.
 func (w *World) Target() string { return w.target }
@@ -154,6 +171,7 @@ func (w *World) PaperLeft() int {
 func (w *World) Reset(*xrand.Rand) {
 	w.printed = nil
 	w.done = false
+	w.status = ""
 }
 
 // Step implements comm.Strategy.
@@ -170,19 +188,36 @@ func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {
 	if len(w.printed) > 0 {
 		last = w.printed[len(w.printed)-1]
 	}
-	return comm.Outbox{
-		ToUser: comm.Message("TASK " + w.target + "|PRINTED " + last),
-	}, nil
+	// The announcement only changes when something new lands on the
+	// printout; a quiescent printer re-sends one cached string.
+	if w.status == "" || w.statusLast != last {
+		w.buf = append(w.buf[:0], "TASK "...)
+		w.buf = append(w.buf, w.target...)
+		w.buf = append(w.buf, "|PRINTED "...)
+		w.buf = append(w.buf, last...)
+		w.status = comm.Message(w.buf)
+		w.statusLast = last
+	}
+	return comm.Outbox{ToUser: w.status}, nil
 }
 
 // Snapshot implements goal.World.
 func (w *World) Snapshot() comm.WorldState {
-	done := 0
+	return comm.WorldState(w.AppendSnapshot(nil))
+}
+
+// AppendSnapshot implements goal.StateAppender:
+// "target=<target>;printed=<count>;done=<0|1>", byte-identical to
+// Snapshot.
+func (w *World) AppendSnapshot(dst []byte) []byte {
+	dst = append(dst, "target="...)
+	dst = append(dst, w.target...)
+	dst = append(dst, ";printed="...)
+	dst = msgbuf.AppendInt(dst, len(w.printed))
 	if w.done {
-		done = 1
+		return append(dst, ";done=1"...)
 	}
-	return comm.WorldState(fmt.Sprintf("target=%s;printed=%d;done=%d",
-		w.target, len(w.printed), done))
+	return append(dst, ";done=0"...)
 }
 
 // ParseWorldMsg extracts the task and last-printed fields from a world
@@ -205,23 +240,34 @@ func ParseWorldMsg(m comm.Message) (task, printed string, ok bool) {
 // document to the world and acknowledges to the user; on "STATUS" it
 // reports readiness. Wrap with server.Dialected to obtain the class of
 // printers the paper's user must cope with.
-type Server struct{}
+//
+// Step is a pure function of the incoming command; the single-command
+// memo only spares rebuilding the reply a retrying user provokes every
+// other round.
+type Server struct {
+	memo msgbuf.Memo1[comm.Message, comm.Outbox]
+}
 
 var _ comm.Strategy = (*Server)(nil)
 
 // Reset implements comm.Strategy.
-func (*Server) Reset(*xrand.Rand) {}
+func (s *Server) Reset(*xrand.Rand) { s.memo.Reset() }
 
 // Step implements comm.Strategy.
-func (*Server) Step(in comm.Inbox) (comm.Outbox, error) {
+func (s *Server) Step(in comm.Inbox) (comm.Outbox, error) {
 	msg := string(in.FromUser)
 	switch {
 	case strings.HasPrefix(msg, cmdPrint+" "):
+		if out, ok := s.memo.Get(in.FromUser); ok {
+			return out, nil
+		}
 		doc := strings.TrimPrefix(msg, cmdPrint+" ")
-		return comm.Outbox{
+		out := comm.Outbox{
 			ToUser:  comm.Message(rspAck + " " + doc),
 			ToWorld: comm.Message("EMIT " + doc),
-		}, nil
+		}
+		s.memo.Put(in.FromUser, out)
+		return out, nil
 	case msg == cmdStatus:
 		return comm.Outbox{ToUser: rspReady}, nil
 	default:
@@ -287,6 +333,7 @@ type Candidate struct {
 
 	task    string
 	elapsed int
+	cmd     msgbuf.Memo1[string, comm.Message] // encoded "PRINT <task>", built once per task
 }
 
 var _ comm.Strategy = (*Candidate)(nil)
@@ -311,9 +358,14 @@ func (c *Candidate) Step(in comm.Inbox) (comm.Outbox, error) {
 	}
 	defer func() { c.elapsed++ }()
 	if c.elapsed%period == 0 {
-		return comm.Outbox{
-			ToServer: c.D.Encode(comm.Message(cmdPrint + " " + c.task)),
-		}, nil
+		// The task is fixed per execution, so the encoded command is
+		// built once (dialects are pure).
+		cmd, ok := c.cmd.Get(c.task)
+		if !ok {
+			cmd = c.D.Encode(comm.Message(cmdPrint + " " + c.task))
+			c.cmd.Put(c.task, cmd)
+		}
+		return comm.Outbox{ToServer: cmd}, nil
 	}
 	return comm.Outbox{}, nil
 }

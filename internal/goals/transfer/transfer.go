@@ -25,6 +25,7 @@ import (
 	"repro/internal/dialect"
 	"repro/internal/enumerate"
 	"repro/internal/goal"
+	"repro/internal/msgbuf"
 	"repro/internal/sensing"
 	"repro/internal/xrand"
 )
@@ -55,6 +56,7 @@ type Goal struct {
 var (
 	_ goal.CompactGoal = (*Goal)(nil)
 	_ goal.Forgiving   = (*Goal)(nil)
+	_ goal.WorldJudge  = (*Goal)(nil)
 )
 
 func (g *Goal) k() int {
@@ -81,6 +83,15 @@ func (g *Goal) Acceptable(prefix comm.History) bool {
 	return strings.HasSuffix(string(prefix.Last()), "done=1")
 }
 
+// AcceptableWorld implements goal.WorldJudge: the same predicate as
+// Acceptable, judged on the live store.
+func (g *Goal) AcceptableWorld(w goal.World) bool {
+	if sw, ok := w.(*World); ok {
+		return sw.count() == sw.K
+	}
+	return strings.HasSuffix(string(w.Snapshot()), "done=1")
+}
+
 // ForgivingGoal implements goal.Forgiving: chunks can always be resent.
 func (g *Goal) ForgivingGoal() bool { return true }
 
@@ -90,12 +101,26 @@ type World struct {
 	K int
 
 	have []bool
+
+	status     comm.Message // cached status, rebuilt when the stored set changes
+	statusMask uint64
+	buf        []byte // reusable build buffer
 }
 
-var _ goal.World = (*World)(nil)
+var (
+	_ goal.World         = (*World)(nil)
+	_ goal.StateAppender = (*World)(nil)
+)
 
 // Reset implements comm.Strategy.
-func (w *World) Reset(*xrand.Rand) { w.have = make([]bool, w.K) }
+func (w *World) Reset(*xrand.Rand) {
+	if len(w.have) == w.K {
+		clear(w.have)
+	} else {
+		w.have = make([]bool, w.K)
+	}
+	w.status = ""
+}
 
 func (w *World) count() int {
 	n := 0
@@ -128,17 +153,36 @@ func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {
 			}
 		}
 	}
-	msg := fmt.Sprintf("WANT %d|HAVE %d", w.K, w.mask())
-	return comm.Outbox{ToUser: comm.Message(msg)}, nil
+	// The status only changes when a chunk lands; between arrivals one
+	// cached string is re-sent.
+	if mask := w.mask(); w.status == "" || w.statusMask != mask {
+		w.buf = append(w.buf[:0], "WANT "...)
+		w.buf = msgbuf.AppendInt(w.buf, w.K)
+		w.buf = append(w.buf, "|HAVE "...)
+		w.buf = msgbuf.AppendUint(w.buf, mask)
+		w.status = comm.Message(w.buf)
+		w.statusMask = mask
+	}
+	return comm.Outbox{ToUser: w.status}, nil
 }
 
 // Snapshot implements goal.World.
 func (w *World) Snapshot() comm.WorldState {
-	done := 0
-	if w.count() == w.K {
-		done = 1
+	return comm.WorldState(w.AppendSnapshot(nil))
+}
+
+// AppendSnapshot implements goal.StateAppender:
+// "have=<n>/<K>;done=<0|1>", byte-identical to Snapshot.
+func (w *World) AppendSnapshot(dst []byte) []byte {
+	n := w.count()
+	dst = append(dst, "have="...)
+	dst = msgbuf.AppendInt(dst, n)
+	dst = append(dst, '/')
+	dst = msgbuf.AppendInt(dst, w.K)
+	if n == w.K {
+		return append(dst, ";done=1"...)
 	}
-	return comm.WorldState(fmt.Sprintf("have=%d/%d;done=%d", w.count(), w.K, done))
+	return append(dst, ";done=0"...)
 }
 
 // ParseStatus decodes the world's status message.
@@ -161,18 +205,28 @@ func ParseStatus(m comm.Message) (k int, mask uint64, ok bool) {
 }
 
 // Server is the storage relay's native protocol.
-type Server struct{}
+//
+// Step is a pure function of the incoming command; the memo only spares
+// rebuilding replies for the handful of STORE commands a retransmitting
+// user cycles through (a transfer moves K chunks, so real traffic holds
+// at most K distinct commands — comfortably under the table's cap).
+type Server struct {
+	memo msgbuf.Table[comm.Message, comm.Outbox]
+}
 
 var _ comm.Strategy = (*Server)(nil)
 
 // Reset implements comm.Strategy.
-func (*Server) Reset(*xrand.Rand) {}
+func (s *Server) Reset(*xrand.Rand) { s.memo.Reset() }
 
 // Step implements comm.Strategy.
-func (*Server) Step(in comm.Inbox) (comm.Outbox, error) {
+func (s *Server) Step(in comm.Inbox) (comm.Outbox, error) {
 	rest, ok := strings.CutPrefix(string(in.FromUser), cmdStore+" ")
 	if !ok {
 		return comm.Outbox{}, nil
+	}
+	if out, ok := s.memo.Get(in.FromUser); ok {
+		return out, nil
 	}
 	fields := strings.SplitN(rest, " ", 2)
 	if len(fields) != 2 {
@@ -181,10 +235,12 @@ func (*Server) Step(in comm.Inbox) (comm.Outbox, error) {
 	if _, err := strconv.Atoi(fields[0]); err != nil {
 		return comm.Outbox{}, nil
 	}
-	return comm.Outbox{
+	out := comm.Outbox{
 		ToUser:  comm.Message(rspStored + " " + fields[0]),
 		ToWorld: comm.Message("REL " + rest),
-	}, nil
+	}
+	s.memo.Put(in.FromUser, out)
+	return out, nil
 }
 
 // Candidate is the dialect-d transfer user: read the world's status,
@@ -196,6 +252,7 @@ type Candidate struct {
 	k    int
 	mask uint64
 	next int
+	cmds []comm.Message // cached encoded "STORE <i> <data>" per chunk
 }
 
 var _ comm.Strategy = (*Candidate)(nil)
@@ -205,6 +262,21 @@ func (c *Candidate) Reset(*xrand.Rand) {
 	c.k = 0
 	c.mask = 0
 	c.next = 0
+}
+
+// storeCmd returns the encoded store command for chunk i, built once per
+// chunk (dialects are pure and chunk contents are canonical).
+func (c *Candidate) storeCmd(i int) comm.Message {
+	if i >= len(c.cmds) {
+		cmds := make([]comm.Message, c.k)
+		copy(cmds, c.cmds)
+		c.cmds = cmds
+	}
+	if c.cmds[i] == "" {
+		cmd := fmt.Sprintf("%s %d %s", cmdStore, i, Data(i))
+		c.cmds[i] = c.D.Encode(comm.Message(cmd))
+	}
+	return c.cmds[i]
 }
 
 // Step implements comm.Strategy.
@@ -224,8 +296,7 @@ func (c *Candidate) Step(in comm.Inbox) (comm.Outbox, error) {
 			continue
 		}
 		c.next = (i + 1) % c.k
-		cmd := fmt.Sprintf("%s %d %s", cmdStore, i, Data(i))
-		return comm.Outbox{ToServer: c.D.Encode(comm.Message(cmd))}, nil
+		return comm.Outbox{ToServer: c.storeCmd(i)}, nil
 	}
 	return comm.Outbox{}, nil
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/enumerate"
 	"repro/internal/goal"
+	"repro/internal/msgbuf"
 	"repro/internal/sensing"
 	"repro/internal/server"
 	"repro/internal/xrand"
@@ -36,6 +37,7 @@ type Goal struct{}
 var (
 	_ goal.CompactGoal = (*Goal)(nil)
 	_ goal.Forgiving   = (*Goal)(nil)
+	_ goal.WorldJudge  = (*Goal)(nil)
 )
 
 // Name implements goal.Goal.
@@ -53,6 +55,15 @@ func (*Goal) NewWorld(goal.Env) goal.World { return &World{} }
 // Acceptable implements goal.CompactGoal.
 func (*Goal) Acceptable(prefix comm.History) bool { return prefix.Last() == "vault=open" }
 
+// AcceptableWorld implements goal.WorldJudge: the same predicate as
+// Acceptable, judged on the live vault instead of its serialized state.
+func (g *Goal) AcceptableWorld(w goal.World) bool {
+	if vw, ok := w.(*World); ok {
+		return vw.open
+	}
+	return w.Snapshot() == "vault=open"
+}
+
 // ForgivingGoal implements goal.Forgiving.
 func (*Goal) ForgivingGoal() bool { return true }
 
@@ -62,7 +73,10 @@ type World struct {
 	open bool
 }
 
-var _ goal.World = (*World)(nil)
+var (
+	_ goal.World         = (*World)(nil)
+	_ goal.StateAppender = (*World)(nil)
+)
 
 // Reset implements comm.Strategy.
 func (w *World) Reset(*xrand.Rand) { w.open = false }
@@ -84,6 +98,15 @@ func (w *World) Snapshot() comm.WorldState {
 		return "vault=open"
 	}
 	return "vault=locked"
+}
+
+// AppendSnapshot implements goal.StateAppender, byte-identical to
+// Snapshot.
+func (w *World) AppendSnapshot(dst []byte) []byte {
+	if w.open {
+		return append(dst, "vault=open"...)
+	}
+	return append(dst, "vault=locked"...)
 }
 
 // Server guards the vault with the given secret. On "pass <k>" it unlocks
@@ -127,6 +150,7 @@ type Candidate struct {
 	Guess int
 
 	elapsed int
+	cmd     msgbuf.Memo1[int, comm.Message] // "pass <Guess>", built once per guess
 }
 
 var _ comm.Strategy = (*Candidate)(nil)
@@ -138,7 +162,12 @@ func (c *Candidate) Reset(*xrand.Rand) { c.elapsed = 0 }
 func (c *Candidate) Step(comm.Inbox) (comm.Outbox, error) {
 	defer func() { c.elapsed++ }()
 	if c.elapsed%2 == 0 {
-		return comm.Outbox{ToServer: comm.Message("pass " + strconv.Itoa(c.Guess))}, nil
+		msg, ok := c.cmd.Get(c.Guess)
+		if !ok {
+			msg = comm.Message("pass " + strconv.Itoa(c.Guess))
+			c.cmd.Put(c.Guess, msg)
+		}
+		return comm.Outbox{ToServer: msg}, nil
 	}
 	return comm.Outbox{}, nil
 }

@@ -38,6 +38,16 @@ type SweepBench struct {
 	ElapsedNs    int64   `json:"elapsedNs"`
 	TrialsPerSec float64 `json:"trialsPerSec"`
 	RoundsPerSec float64 `json:"roundsPerSec"`
+
+	// Mallocs is the producing process's heap-allocation count over the
+	// sweep and AllocsPerRound normalizes it by TotalRounds — the
+	// host-independent half of the artifact, so allocation regressions
+	// are visible even across machines whose timings are incomparable.
+	// Absent (0) in artifacts written before allocation accounting, and
+	// in distributed artifacts (the coordinator cannot see worker
+	// heaps).
+	Mallocs        int64   `json:"mallocs,omitempty"`
+	AllocsPerRound float64 `json:"allocsPerRound,omitempty"`
 }
 
 // CertReport is the machine-readable form of a certification run: the

@@ -201,13 +201,21 @@ type Summary struct {
 // evictions (universal.CompactUser).
 type switcher interface{ Switches() int }
 
-// trialSlot tracks one trial online via Config.OnRound, replacing full
-// history recording: acceptability is judged round by round on a reusable
-// single-state history (valid for referees that judge a prefix by its
-// recent states — every stock goal, whose worlds serialize cumulative
-// state into each snapshot).
+// trialSlot tracks one trial online via the engine's round hooks,
+// replacing full history recording: acceptability is judged round by
+// round (valid for referees that judge a prefix by its recent states —
+// every stock goal, whose worlds serialize cumulative state into each
+// snapshot).
+//
+// Goals that implement goal.WorldJudge are judged on the live world via
+// Config.OnRoundLive, so the hot sweep loop never materializes — let
+// alone parses — a snapshot string; the judge contract guarantees the
+// verdicts, and therefore every aggregate byte, are identical to the
+// snapshot path. Other goals fall back to Config.OnRound with a reusable
+// single-state history.
 type trialSlot struct {
 	g       goal.CompactGoal
+	judge   goal.WorldJudge // non-nil selects the live fast path
 	user    comm.Strategy
 	scratch comm.History
 	rounds  int
@@ -225,6 +233,18 @@ func (s *trialSlot) onRound(round int, rv comm.RoundView, state comm.WorldState)
 	if !s.g.Acceptable(s.scratch) {
 		s.lastBad = round + 1
 	}
+	s.countMsgs(rv)
+}
+
+func (s *trialSlot) onRoundLive(round int, rv comm.RoundView, w goal.World) {
+	s.rounds = round + 1
+	if !s.judge.AcceptableWorld(w) {
+		s.lastBad = round + 1
+	}
+	s.countMsgs(rv)
+}
+
+func (s *trialSlot) countMsgs(rv comm.RoundView) {
 	if !rv.In.FromServer.Empty() {
 		s.msgs++
 	}
@@ -408,11 +428,22 @@ func (m *Matrix) Sweep(indices []int64, cfg SweepConfig) (*Summary, error) {
 		if err != nil {
 			return err
 		}
+		judge, _ := bind.Goal.(goal.WorldJudge)
 		job := &scenJob{sc: sc, slots: make([]*trialSlot, seeds), base: len(trials)}
 		for t := 0; t < seeds; t++ {
-			slot := &trialSlot{g: bind.Goal}
+			slot := &trialSlot{g: bind.Goal, judge: judge}
 			job.slots[t] = slot
 			mkUser := bind.User
+			cfg := system.Config{
+				MaxRounds: bind.MaxRounds,
+				Seed:      seedFn(sc, t),
+				Record:    system.RecordOff,
+			}
+			if judge != nil {
+				cfg.OnRoundLive = slot.onRoundLive
+			} else {
+				cfg.OnRound = slot.onRound
+			}
 			trials = append(trials, system.Trial{
 				User: func() (comm.Strategy, error) {
 					u, err := mkUser()
@@ -421,12 +452,7 @@ func (m *Matrix) Sweep(indices []int64, cfg SweepConfig) (*Summary, error) {
 				},
 				Server: bind.Server,
 				World:  bind.World,
-				Config: system.Config{
-					MaxRounds: bind.MaxRounds,
-					Seed:      seedFn(sc, t),
-					Record:    system.RecordOff,
-					OnRound:   slot.onRound,
-				},
+				Config: cfg,
 			})
 		}
 		jobs = append(jobs, job)

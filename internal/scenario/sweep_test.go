@@ -295,3 +295,64 @@ func TestSweepObstinateNeverSucceeds(t *testing.T) {
 		}
 	}
 }
+
+// judgelessGoal hides a compact goal's WorldJudge fast path, forcing the
+// sweep onto the OnRound/snapshot fallback.
+type judgelessGoal struct{ inner goal.CompactGoal }
+
+func (g judgelessGoal) Name() string                     { return g.inner.Name() }
+func (g judgelessGoal) Kind() goal.Kind                  { return g.inner.Kind() }
+func (g judgelessGoal) NewWorld(env goal.Env) goal.World { return g.inner.NewWorld(env) }
+func (g judgelessGoal) EnvChoices() int                  { return g.inner.EnvChoices() }
+func (g judgelessGoal) Acceptable(h comm.History) bool   { return g.inner.Acceptable(h) }
+
+// TestSweepJudgeFastPathMatchesFallback pins that the live-judge fast
+// path (goal.WorldJudge via OnRoundLive) and the snapshot fallback
+// (OnRound on a judge-less goal) fold to byte-identical aggregates over
+// the quick matrix — the tracker-side half of the zero-allocation work.
+func TestSweepJudgeFastPathMatchesFallback(t *testing.T) {
+	t.Parallel()
+
+	spec, err := BuiltinSpec("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A registry identical to the builtin except every goal forgets its
+	// WorldJudge refinement.
+	stripped := NewRegistry()
+	for _, name := range []string{"printing", "treasure", "transfer", "control"} {
+		name := name
+		stripped.Register(name, func(ax Axes) (*Parts, error) {
+			parts, err := Builtin().builders[name](ax)
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := parts.Goal.(goal.WorldJudge); !ok {
+				t.Errorf("builtin goal %q lost its WorldJudge fast path", name)
+			}
+			parts.Goal = judgelessGoal{inner: parts.Goal}
+			return parts, nil
+		})
+	}
+
+	marshal := func(stats []*Stats) string {
+		data, err := json.Marshal(stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	fastStats, fastSum := collectStats(t, m, SweepConfig{Parallel: 2})
+	slowStats, slowSum := collectStats(t, m, SweepConfig{Parallel: 2, Registry: stripped})
+	if fast, slow := marshal(fastStats), marshal(slowStats); fast != slow {
+		t.Fatalf("judge fast path and snapshot fallback disagree:\nfast: %s\nslow: %s", fast, slow)
+	}
+	if fastSum.TotalRounds != slowSum.TotalRounds || fastSum.Successes != slowSum.Successes {
+		t.Fatalf("summaries disagree: %+v vs %+v", fastSum, slowSum)
+	}
+}

@@ -106,12 +106,17 @@ func runPool(trials []Trial, cfg BatchConfig, failFast bool) ([]*Result, []error
 
 	workers := cfg.workers(n)
 	if workers <= 1 {
+		// One scratch (snapshot buffer + intern table) for the whole
+		// batch: states repeated across a chunk's trials intern to the
+		// same shared strings.
+		scr := scratchPool.Get().(*snapScratch)
 		for i := range trials {
-			results[i], errs[i] = runTrial(&trials[i], i, cfg)
+			results[i], errs[i] = runTrial(&trials[i], i, cfg, scr)
 			if errs[i] != nil && failFast {
 				break
 			}
 		}
+		scratchPool.Put(scr)
 		return results, errs
 	}
 
@@ -127,6 +132,10 @@ func runPool(trials []Trial, cfg BatchConfig, failFast bool) ([]*Result, []error
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch, reused across every trial this worker
+			// runs; scratches are never shared between goroutines.
+			scr := scratchPool.Get().(*snapScratch)
+			defer scratchPool.Put(scr)
 			for {
 				i := next.Add(1)
 				if i >= int64(n) {
@@ -135,7 +144,7 @@ func runPool(trials []Trial, cfg BatchConfig, failFast bool) ([]*Result, []error
 				if failFast && i > failed.Load() {
 					continue
 				}
-				res, err := runTrial(&trials[i], int(i), cfg)
+				res, err := runTrial(&trials[i], int(i), cfg, scr)
 				results[i], errs[i] = res, err
 				if err != nil {
 					// CAS-min the failure index.
@@ -153,8 +162,9 @@ func runPool(trials []Trial, cfg BatchConfig, failFast bool) ([]*Result, []error
 	return results, errs
 }
 
-// runTrial constructs one trial's parties and executes it.
-func runTrial(t *Trial, i int, bcfg BatchConfig) (*Result, error) {
+// runTrial constructs one trial's parties and executes it with the
+// worker's reusable snapshot scratch.
+func runTrial(t *Trial, i int, bcfg BatchConfig, scr *snapScratch) (*Result, error) {
 	if t.User == nil || t.Server == nil || t.World == nil {
 		return nil, errors.New("system: trial needs User, Server and World factories")
 	}
@@ -166,5 +176,5 @@ func runTrial(t *Trial, i int, bcfg BatchConfig) (*Result, error) {
 	if bcfg.Seed != 0 {
 		cfg.Seed = DeriveSeed(bcfg.Seed, i)
 	}
-	return Run(user, t.Server(), t.World(), cfg)
+	return run(user, t.Server(), t.World(), cfg, scr)
 }

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/goal"
+	"repro/internal/msgbuf"
 	"repro/internal/xrand"
 )
 
@@ -90,8 +91,19 @@ type Config struct {
 	// OnRound, if non-nil, is invoked after every round with the round
 	// index (0-based), the user's view of the round, and the world
 	// snapshot — regardless of the Record policy. Used by trace
-	// experiments and online sensing; leave nil on hot paths.
+	// experiments and online sensing. Setting OnRound forces a snapshot
+	// per round even under RecordOff; hot-path trackers that only need
+	// the live world should use OnRoundLive instead.
 	OnRound func(round int, rv comm.RoundView, state comm.WorldState)
+
+	// OnRoundLive, if non-nil, is invoked after every round with the
+	// round index, the user's view of the round, and the live world.
+	// Unlike OnRound it does not force snapshot materialization, so
+	// under RecordOff the engine never serializes a state: trackers
+	// judge the world directly (see goal.WorldJudge). The callback must
+	// not retain w or call its Step/Reset; it may call Snapshot. Both
+	// hooks may be set; OnRound fires first.
+	OnRoundLive func(round int, rv comm.RoundView, w goal.World)
 }
 
 // Result is the record of one execution.
@@ -141,11 +153,46 @@ func ReleaseResult(res *Result) {
 	resultPool.Put(res)
 }
 
+// snapScratch is the per-worker scratch state for snapshot
+// materialization: a reusable append buffer plus an interner that
+// collapses high-repetition states (a vault's two strings, a plant's
+// position lattice) into shared allocations. Scratches are pooled and
+// threaded through the batch engine so interning amortizes across the
+// trials of a chunk.
+type snapScratch struct {
+	buf    []byte
+	intern msgbuf.Interner
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(snapScratch) }}
+
+// snapshot materializes the world's current state, preferring the
+// buffer-backed goal.StateAppender encoding (interned — byte-identical
+// to Snapshot by the StateAppender contract, and interning equal bytes
+// cannot change output) over a fresh Snapshot string.
+func (s *snapScratch) snapshot(world goal.World) comm.WorldState {
+	a, ok := world.(goal.StateAppender)
+	if !ok {
+		return world.Snapshot()
+	}
+	s.buf = a.AppendSnapshot(s.buf[:0])
+	return comm.WorldState(s.intern.Intern(s.buf))
+}
+
 // Run executes (user, server, world) for up to cfg.MaxRounds rounds or until
 // a halting user strategy halts. All three strategies are Reset with
 // independent deterministic streams derived from cfg.Seed before the first
 // round.
 func Run(user, server comm.Strategy, world goal.World, cfg Config) (*Result, error) {
+	scr := scratchPool.Get().(*snapScratch)
+	res, err := run(user, server, world, cfg, scr)
+	scratchPool.Put(scr)
+	return res, err
+}
+
+// run is Run with an explicit snapshot scratch, so batch workers reuse
+// one scratch (buffer + intern table) across all their trials.
+func run(user, server comm.Strategy, world goal.World, cfg Config, scr *snapScratch) (*Result, error) {
 	if user == nil || server == nil || world == nil {
 		return nil, errors.New("system: nil strategy")
 	}
@@ -154,6 +201,11 @@ func Run(user, server comm.Strategy, world goal.World, cfg Config) (*Result, err
 		maxRounds = DefaultMaxRounds
 	}
 	window := cfg.Record.window
+	// The lazy-snapshot contract: when nothing consumes states — no
+	// recording and no OnRound — the engine never calls Snapshot (or
+	// AppendSnapshot). OnRoundLive deliberately does not force
+	// materialization; its trackers judge the live world.
+	needState := window >= 0 || cfg.OnRound != nil
 
 	root := xrand.New(cfg.Seed)
 	user.Reset(root.Split())
@@ -199,7 +251,10 @@ func Run(user, server comm.Strategy, world goal.World, cfg Config) (*Result, err
 
 		fromUser, fromServer, fromWorld = userOut, serverOut, worldOut
 
-		state := world.Snapshot()
+		var state comm.WorldState
+		if needState {
+			state = scr.snapshot(world)
+		}
 		rv := comm.RoundView{In: userIn, Out: userOut}
 		switch {
 		case window == 0: // full recording
@@ -218,6 +273,9 @@ func Run(user, server comm.Strategy, world goal.World, cfg Config) (*Result, err
 
 		if cfg.OnRound != nil {
 			cfg.OnRound(round, rv, state)
+		}
+		if cfg.OnRoundLive != nil {
+			cfg.OnRoundLive(round, rv, world)
 		}
 
 		if halter != nil && halter.Halted() {
