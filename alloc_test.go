@@ -164,34 +164,38 @@ func TestFastPathParity(t *testing.T) {
 
 // allocBudgets pins the steady-state allocation cost of a full
 // execution (1000 rounds) per stock goal and retention policy. The
-// budgets are whole-run counts, not per-round: a handful of setup
-// allocations (per-party RNG splits, first-time message caches) plus the
-// per-round cost. Learning's protocol genuinely changes every round
-// (query ids grow without bound), so its floor is ~1 alloc/round; every
-// other goal's loop is allocation-free once warm. Generous slack (~2x)
-// over measured values keeps the pins insensitive to pool/GC timing
-// while still failing loudly if Sprintf-style per-round allocation
-// creeps back (which costs thousands per run).
+// budgets are whole-run counts, not per-round: every stock goal now
+// runs its warm loop allocation-free, so the measured cost is the
+// engine floor — the three per-party RNG splits of Reset (3.0 measured)
+// — plus, for goals whose message streams never repeat, one arena block
+// per party per run (learning and printing measure 5.0: the id-bearing
+// query/answer arenas and the printed-log bookkeeping amortize to two
+// extra). Budgets carry ~1.3x slack over those measurements: tight
+// enough that a single Sprintf, map insert or string build per round
+// (+1000/run) — or even per state transition (+tens/run) — fails
+// loudly, loose enough for pool/GC timing jitter.
 //
-// Window budgets for goals whose recorded states embed a monotone
-// counter (printing's printed count, learning's answered count) also
-// absorb one generational flush of the snapshot interner: when the
-// shared per-worker table fills mid-run, the run's remaining distinct
-// states re-allocate once (~1 per state transition, bounded by the
-// round count).
+// Arena-backed learning state (ISSUE 6) is what moved learning from its
+// previous 1004-alloc pin (one query string + one answer string per
+// round, individually allocated) to the engine floor: unbounded-id
+// messages are carved from per-execution msgbuf.Arena blocks, and the
+// answered/pending maps became index-keyed rings.
 var allocBudgets = map[string]struct{ off, window float64 }{
-	"treasure":   {off: 50, window: 60},
-	"printing":   {off: 120, window: 800},
-	"transfer":   {off: 220, window: 300},
-	"control":    {off: 160, window: 350},
-	"learning":   {off: 2600, window: 3300},
-	"delegation": {off: 160, window: 200},
+	"treasure":   {off: 4, window: 6},
+	"printing":   {off: 7, window: 9},
+	"transfer":   {off: 4, window: 6},
+	"control":    {off: 4, window: 6},
+	"learning":   {off: 7, window: 9},
+	"delegation": {off: 4, window: 6},
 }
 
 // TestSteadyStateAllocBudgets is the alloc-gated benchmark in test form:
 // testing.AllocsPerRun over full executions, failing go test when a goal
 // regresses past its budget instead of silently eroding throughput.
 func TestSteadyStateAllocBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins are not meaningful under -race (the race runtime allocates)")
+	}
 	if testing.Short() {
 		t.Skip("allocation pins are not meaningful under -short")
 	}
@@ -238,6 +242,9 @@ func TestSteadyStateAllocBudgets(t *testing.T) {
 // (1000 silent rounds, RecordOff, result released) must stay under 100
 // allocations — it was ~504 before the hot-path work.
 func TestEngineRoundAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins are not meaningful under -race (the race runtime allocates)")
+	}
 	usr := &treasure.Candidate{Guess: 0}
 	srv := server.Obstinate()
 	w := &treasure.World{}
@@ -262,6 +269,9 @@ func TestEngineRoundAllocCeiling(t *testing.T) {
 // its converged steady state: once the matching candidate is installed,
 // switching stops and the loop must stay within budget.
 func TestUniversalUserSteadyAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins are not meaningful under -race (the race runtime allocates)")
+	}
 	if testing.Short() {
 		t.Skip("allocation pins are not meaningful under -short")
 	}
@@ -291,11 +301,14 @@ func TestUniversalUserSteadyAllocs(t *testing.T) {
 	run()
 	allocs := testing.AllocsPerRun(5, run)
 	t.Logf("universal printing user: %.1f allocs per 1000-round execution", allocs)
-	// Convergence burns a few dozen allocations on candidate switches
-	// (fresh candidate + RNG per eviction) before settling; the budget
-	// allows that plus slack, but not per-round allocation (1000+).
-	if allocs > 400 {
-		t.Errorf("universal user execution allocates %.1f times, budget 400", allocs)
+	// The candidate cache (universal.CompactUser) re-Resets cached
+	// strategies on switches instead of constructing fresh ones, so a
+	// warm re-run — convergence included — sits at the engine floor
+	// (5.0 measured). The budget carries slack for pool/GC jitter but
+	// fails on any per-switch construction (+dozens) or per-round
+	// allocation (+1000) creeping back.
+	if allocs > 12 {
+		t.Errorf("universal user execution allocates %.1f times, budget 12", allocs)
 	}
 }
 

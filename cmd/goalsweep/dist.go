@@ -115,7 +115,7 @@ func runServe(args []string, stdout, stderr io.Writer) (retErr error) {
 			// Mallocs is 0: the sweep's allocations happened in the
 			// worker processes' heaps, which the coordinator cannot see.
 			submitters, totalParallel := coord.Submitters()
-			if err := writeBench(*benchPath, sum, elapsed, totalParallel, submitters, 0); err != nil {
+			if err := writeBench(*benchPath, sum, elapsed, totalParallel, submitters, 0, nil); err != nil {
 				return err
 			}
 		}

@@ -97,6 +97,8 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		sample      = fs.Int("sample", 0, "sweep only a deterministic random subset of this many scenarios (0 = all)")
 		sampleSeed  = fs.Uint64("sampleseed", 1, "seed for -sample subset selection")
 		parallel    = fs.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
+		chunk       = fs.Int("chunk", 256, "trials buffered per engine batch; does not affect results")
+		trialBatch  = fs.Int("trialbatch", 1, "consecutive trials a worker claims per scheduling step; does not affect results")
 		seeds       = fs.Int("seeds", 0, "override the spec's trials per scenario (0 = spec value)")
 		window      = fs.Int("window", 0, "override the spec's convergence window (0 = spec value)")
 		baseSeed    = fs.Uint64("baseseed", 0, "override the spec's base seed (0 = spec value)")
@@ -119,6 +121,12 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	}
 	if *jsonOut && *csvOut {
 		return fmt.Errorf("-json and -csv are mutually exclusive")
+	}
+	if *chunk <= 0 {
+		return fmt.Errorf("-chunk must be positive, got %d", *chunk)
+	}
+	if *trialBatch < 1 {
+		return fmt.Errorf("-trialbatch must be at least 1, got %d", *trialBatch)
 	}
 	if *benchPath != "" && (*cacheDir != "" || *shardSpec != "") {
 		// A warm cache would divide unexecuted rounds by near-zero
@@ -145,10 +153,12 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	}
 
 	cfg := scenario.SweepConfig{
-		Parallel: *parallel,
-		Seeds:    *seeds,
-		Window:   *window,
-		BaseSeed: *baseSeed,
+		Parallel:    *parallel,
+		Seeds:       *seeds,
+		Window:      *window,
+		BaseSeed:    *baseSeed,
+		ChunkTrials: *chunk,
+		TrialBatch:  *trialBatch,
 	}
 	effSeeds, effWindow, effBase := cfg.Effective(spec)
 	// The CLI always binds through the stock registry.
@@ -265,7 +275,11 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		}
 	}
 	if *benchPath != "" {
-		if err := writeBench(*benchPath, sum, elapsed, *parallel, 1, mallocs); err != nil {
+		perGoal, err := benchPerGoal(*specPath, *builtin, filters, spec, cfg, *sample)
+		if err != nil {
+			return err
+		}
+		if err := writeBench(*benchPath, sum, elapsed, *parallel, 1, mallocs, perGoal); err != nil {
 			return err
 		}
 	}
@@ -633,6 +647,71 @@ func writeTable(out io.Writer, m *scenario.Matrix, spec *scenario.Spec,
 	return err
 }
 
+// benchPerGoal measures each goal's slice of the sweep as its own timed
+// sub-sweep over the goal's restriction of the spec — the per-goal
+// rounds/s and allocs/round breakdown of the -bench artifact. The spec
+// is re-resolved per goal because Restrict mutates it. Sampled
+// selections are skipped (a goal restriction cannot reproduce a random
+// subset), as are specs without at least two goal values (the breakdown
+// would restate the aggregate).
+func benchPerGoal(specPath, builtin string, filters filterFlags, spec *scenario.Spec,
+	cfg scenario.SweepConfig, sample int) ([]harness.GoalBench, error) {
+	if sample > 0 {
+		return nil, nil
+	}
+	var goals []string
+	for _, ax := range spec.Axes {
+		if ax.Name == "goal" {
+			goals = ax.Values
+		}
+	}
+	if len(goals) < 2 {
+		return nil, nil
+	}
+	out := make([]harness.GoalBench, 0, len(goals))
+	for _, g := range goals {
+		gspec, err := resolveSpec(specPath, builtin, filters)
+		if err != nil {
+			return nil, err
+		}
+		if err := gspec.Restrict("goal", g); err != nil {
+			return nil, err
+		}
+		gm, err := scenario.NewMatrix(gspec)
+		if err != nil {
+			return nil, err
+		}
+		gcfg := cfg
+		gcfg.OnStats = nil
+		gcfg.Cache = nil
+		var memBefore, memAfter runtime.MemStats
+		runtime.ReadMemStats(&memBefore)
+		start := time.Now()
+		gsum, err := gm.Sweep(nil, gcfg)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&memAfter)
+		gb := harness.GoalBench{
+			Goal:        g,
+			Scenarios:   gsum.Scenarios,
+			Trials:      gsum.Trials,
+			TotalRounds: gsum.TotalRounds,
+			ElapsedNs:   elapsed.Nanoseconds(),
+			Mallocs:     int64(memAfter.Mallocs - memBefore.Mallocs),
+		}
+		if secs := elapsed.Seconds(); secs > 0 {
+			gb.RoundsPerSec = float64(gsum.TotalRounds) / secs
+		}
+		if gb.Mallocs > 0 && gsum.TotalRounds > 0 {
+			gb.AllocsPerRound = float64(gb.Mallocs) / float64(gsum.TotalRounds)
+		}
+		out = append(out, gb)
+	}
+	return out, nil
+}
+
 // writeBench writes the throughput artifact — deliberately the only
 // goalsweep output that contains timings. A defaulted worker pool is
 // recorded as its effective size (GOMAXPROCS), not 0, so artifacts are
@@ -643,7 +722,7 @@ func writeTable(out io.Writer, m *scenario.Matrix, spec *scenario.Spec,
 // sweep (0 = unmeasured, e.g. a coordinator whose allocations happened in
 // worker processes); unlike timings it is host-independent, which makes
 // allocsPerRound the most portable regression signal in the artifact.
-func writeBench(path string, sum *scenario.Summary, elapsed time.Duration, parallel, workers int, mallocs int64) error {
+func writeBench(path string, sum *scenario.Summary, elapsed time.Duration, parallel, workers int, mallocs int64, perGoal []harness.GoalBench) error {
 	if parallel < 1 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -660,6 +739,7 @@ func writeBench(path string, sum *scenario.Summary, elapsed time.Duration, paral
 		Workers:     workers,
 		ElapsedNs:   elapsed.Nanoseconds(),
 		Mallocs:     mallocs,
+		PerGoal:     perGoal,
 	}
 	if secs > 0 {
 		b.TrialsPerSec = float64(sum.Trials) / secs

@@ -22,9 +22,16 @@ import (
 )
 
 // Prior is a normalized probability distribution over the indices
-// [0, Len()) of a strategy enumeration (or server class).
+// [0, Len()) of a strategy enumeration (or server class). A Prior is
+// immutable after construction: the cumulative-weight table, enumeration
+// order and expected rank are computed once in FromWeights, so Sample,
+// Order and ExpectedRank are allocation-free on every call (and safe for
+// concurrent readers).
 type Prior struct {
 	weights []float64
+	cum     []float64 // cum[i] = weights[0] + ... + weights[i], the Sample CDF
+	order   []int     // indices by decreasing weight, ties by index
+	expRank float64
 }
 
 // FromWeights builds a prior proportional to the given non-negative
@@ -48,7 +55,27 @@ func FromWeights(ws []float64) (*Prior, error) {
 	for i, w := range ws {
 		normalized[i] = w / sum
 	}
-	return &Prior{weights: normalized}, nil
+	p := &Prior{weights: normalized}
+	// The CDF must accumulate in index order with the same additions the
+	// old linear-scan Sample performed, so binary search lands on exactly
+	// the index the scan returned (float rounding included).
+	p.cum = make([]float64, len(normalized))
+	acc := 0.0
+	for i, w := range normalized {
+		acc += w
+		p.cum[i] = acc
+	}
+	p.order = make([]int, len(normalized))
+	for i := range p.order {
+		p.order[i] = i
+	}
+	sort.SliceStable(p.order, func(a, b int) bool {
+		return p.weights[p.order[a]] > p.weights[p.order[b]]
+	})
+	for rank, idx := range p.order {
+		p.expRank += p.weights[idx] * float64(rank+1)
+	}
+	return p, nil
 }
 
 // Uniform returns the uniform prior over n indices.
@@ -93,43 +120,33 @@ func (p *Prior) Weight(i int) float64 {
 
 // Order returns the indices sorted by decreasing weight, ties broken by
 // index — the enumeration order of a belief-compatible universal user.
-func (p *Prior) Order() []int {
-	order := make([]int, len(p.weights))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return p.weights[order[a]] > p.weights[order[b]]
-	})
-	return order
-}
+// The slice is computed once at construction and shared across calls;
+// callers must not modify it (Reorder and enumerate.Reordered copy it).
+func (p *Prior) Order() []int { return p.order }
 
-// Sample draws an index from the prior. Used by workloads to select the
-// actual server according to the same distribution the user believes in
-// (compatible beliefs) or a different one (incompatible).
+// Sample draws an index from the prior by binary search over the
+// precomputed cumulative-weight table: O(log n) per draw and
+// allocation-free, returning exactly the index a linear scan of the
+// weights would (the CDF stores the scan's own partial sums). Used by
+// workloads to select the actual server according to the same
+// distribution the user believes in (compatible beliefs) or a different
+// one (incompatible).
 func (p *Prior) Sample(r *xrand.Rand) int {
 	u := r.Float64()
-	acc := 0.0
-	for i, w := range p.weights {
-		acc += w
-		if u < acc {
-			return i
-		}
+	// First index whose cumulative weight exceeds u — the linear scan's
+	// "u < acc" stop condition.
+	i := sort.Search(len(p.cum), func(i int) bool { return p.cum[i] > u })
+	if i == len(p.cum) {
+		return len(p.cum) - 1
 	}
-	return len(p.weights) - 1
+	return i
 }
 
 // ExpectedRank returns the expected 1-based position of the true index in
 // the prior's enumeration order when the true index is itself drawn from
 // the prior — the analytic prediction for "expected candidates tried".
-func (p *Prior) ExpectedRank() float64 {
-	order := p.Order()
-	exp := 0.0
-	for rank, idx := range order {
-		exp += p.weights[idx] * float64(rank+1)
-	}
-	return exp
-}
+// Computed once at construction; repeat calls are allocation-free.
+func (p *Prior) ExpectedRank() float64 { return p.expRank }
 
 // Reorder returns base's strategies visited in order of decreasing prior
 // mass. The prior's support must match the enumerator's size.

@@ -197,3 +197,48 @@ func TestReorderSizeMismatch(t *testing.T) {
 		t.Fatal("size mismatch accepted")
 	}
 }
+
+// TestQueriesAllocationFree pins the ISSUE 6 contract: once a Prior is
+// built, Sample/Order/ExpectedRank are pure table lookups — zero heap
+// allocations per call, no matter how often they repeat.
+func TestQueriesAllocationFree(t *testing.T) {
+	p, err := Zipf(64, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(7)
+	var sink int
+	var sinkF float64
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 50; i++ {
+			sink += p.Sample(r)
+		}
+		sink += p.Order()[0]
+		sinkF += p.ExpectedRank()
+	})
+	if allocs != 0 {
+		t.Fatalf("repeat Sample/Order/ExpectedRank allocated %v per run, want 0", allocs)
+	}
+	_ = sink
+	_ = sinkF
+}
+
+// BenchmarkPriorQueries measures the steady-state query mix on a warm
+// Prior; ReportAllocs keeps the zero-alloc property visible in bench
+// output.
+func BenchmarkPriorQueries(b *testing.B) {
+	p, err := Zipf(64, 1.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += p.Sample(r)
+		sink += p.Order()[0]
+		sink += int(p.ExpectedRank())
+	}
+	_ = sink
+}

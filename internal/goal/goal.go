@@ -82,6 +82,23 @@ type StateAppender interface {
 	AppendSnapshot(dst []byte) []byte
 }
 
+// StateVersioned is an optional World refinement for the engine's hot
+// path: a world that exposes a generation counter advancing exactly when
+// its snapshot changes, so the engine detects "state unchanged since last
+// round" with one integer compare instead of re-serializing and interning
+// identical bytes.
+//
+// Contract: between two calls with no intervening change to the bytes
+// Snapshot() would produce, StateGen returns the same value; whenever
+// those bytes would differ, the value differs from the previous one.
+// Monotonicity is not required, only inequality across changes within a
+// single execution (Reset may reuse values — the engine never compares
+// generations across runs).
+type StateVersioned interface {
+	// StateGen returns the current snapshot generation.
+	StateGen() uint64
+}
+
 // WorldJudge is an optional CompactGoal refinement for the engine's hot
 // path: a referee that can judge the live world directly, so per-round
 // trackers never round-trip through a formatted snapshot string.

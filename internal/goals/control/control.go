@@ -213,24 +213,39 @@ func (g *Goal) ForgivingGoal() bool { return true }
 // World is the plant. It applies "FORCE <f>" from the server (clamped to
 // MaxForce) and reports "POS <p>|SET <s>" to the user every round.
 // Snapshot: "pos=<p>;set=<s>;at=<0|1>".
+// Hot-path layout: the plant is three scalars (initPos, pos, set) plus a
+// generation counter that bumps exactly when the plant moves — which is
+// exactly when the telemetry and the snapshot change — so state-change
+// detection is one integer compare. Telemetry strings are pure functions
+// of (pos, set) with set fixed per instance, so they are memoized in a
+// Reset-surviving table keyed by pos: a trajectory revisiting a position
+// (or a reused world replaying a run) serves cached strings.
 type World struct {
 	initPos  int
 	pos, set int
+	gen      uint64 // snapshot/status generation: bumps when the plant moves
 
-	status    comm.Message // cached telemetry, rebuilt when pos changes
-	statusPos int
+	status    comm.Message                    // cached telemetry, rebuilt when pos changes
+	statusTab msgbuf.Table[int, comm.Message] // pos → telemetry, survives Reset
+	statusGen uint64
 	buf       []byte // reusable build buffer for status and snapshots
+	snap      []byte // cached snapshot bytes, valid while snapGen == gen
+	snapGen   uint64
 }
 
 var (
-	_ goal.World         = (*World)(nil)
-	_ goal.StateAppender = (*World)(nil)
+	_ goal.World          = (*World)(nil)
+	_ goal.StateAppender  = (*World)(nil)
+	_ goal.StateVersioned = (*World)(nil)
 )
 
-// Reset implements comm.Strategy.
+// Reset implements comm.Strategy. The telemetry table persists across
+// Reset: initPos and set are fixed per instance, so last run's strings
+// remain correct.
 func (w *World) Reset(*xrand.Rand) {
 	w.pos = w.initPos
 	w.status = ""
+	w.gen++ // invalidates the status and snapshot caches
 }
 
 // Pos returns the current plant position (for tests).
@@ -239,22 +254,33 @@ func (w *World) Pos() int { return w.pos }
 // Step implements comm.Strategy.
 func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {
 	if rest, ok := strings.CutPrefix(string(in.FromServer), "FORCE "); ok {
-		if f, err := strconv.Atoi(rest); err == nil {
+		if f, err := strconv.Atoi(rest); err == nil && f != 0 {
 			w.pos += clamp(f, MaxForce)
+			w.gen++
 		}
 	}
 	// The telemetry message only changes when the plant moves; a settled
 	// loop re-sends one cached string.
-	if w.status == "" || w.statusPos != w.pos {
-		w.buf = append(w.buf[:0], "POS "...)
-		w.buf = msgbuf.AppendInt(w.buf, w.pos)
-		w.buf = append(w.buf, "|SET "...)
-		w.buf = msgbuf.AppendInt(w.buf, w.set)
-		w.status = comm.Message(w.buf)
-		w.statusPos = w.pos
+	if w.status == "" || w.statusGen != w.gen {
+		if s, ok := w.statusTab.Get(w.pos); ok {
+			w.status = s
+		} else {
+			w.buf = append(w.buf[:0], "POS "...)
+			w.buf = msgbuf.AppendInt(w.buf, w.pos)
+			w.buf = append(w.buf, "|SET "...)
+			w.buf = msgbuf.AppendInt(w.buf, w.set)
+			w.status = comm.Message(w.buf) // string conversion copies
+			w.statusTab.Put(w.pos, w.status)
+		}
+		w.statusGen = w.gen
 	}
 	return comm.Outbox{ToUser: w.status}, nil
 }
+
+// StateGen implements goal.StateVersioned: the generation advances
+// exactly when the plant moves (or the world resets), which is exactly
+// when the snapshot's pos/at fields change.
+func (w *World) StateGen() uint64 { return w.gen }
 
 // Snapshot implements goal.World.
 func (w *World) Snapshot() comm.WorldState {
@@ -262,16 +288,24 @@ func (w *World) Snapshot() comm.WorldState {
 }
 
 // AppendSnapshot implements goal.StateAppender:
-// "pos=<p>;set=<s>;at=<0|1>", byte-identical to Snapshot.
+// "pos=<p>;set=<s>;at=<0|1>", byte-identical to Snapshot. The encoding
+// is cached per generation, so a settled loop copies bytes instead of
+// re-formatting.
 func (w *World) AppendSnapshot(dst []byte) []byte {
-	dst = append(dst, "pos="...)
-	dst = msgbuf.AppendInt(dst, w.pos)
-	dst = append(dst, ";set="...)
-	dst = msgbuf.AppendInt(dst, w.set)
-	if w.pos == w.set {
-		return append(dst, ";at=1"...)
+	if len(w.snap) == 0 || w.snapGen != w.gen {
+		b := append(w.snap[:0], "pos="...)
+		b = msgbuf.AppendInt(b, w.pos)
+		b = append(b, ";set="...)
+		b = msgbuf.AppendInt(b, w.set)
+		if w.pos == w.set {
+			b = append(b, ";at=1"...)
+		} else {
+			b = append(b, ";at=0"...)
+		}
+		w.snap = b
+		w.snapGen = w.gen
 	}
-	return append(dst, ";at=0"...)
+	return append(dst, w.snap...)
 }
 
 // ParsePlant decodes the world's status message.

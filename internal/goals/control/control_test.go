@@ -272,3 +272,62 @@ func TestGoalEnvDeterminism(t *testing.T) {
 		t.Fatal("different envs produced identical plants")
 	}
 }
+
+// TestWorldMatchesReferenceModel drives the SoA plant (ISSUE 6: scalar
+// pos/gen layout with Reset-surviving memoized telemetry) against a plain
+// integer reference with Sprintf encodings, over random FORCE traffic
+// including zero forces, over-bound forces, and junk — across several
+// Reset cycles. Telemetry and snapshot must be byte-identical every
+// round, and StateGen must change exactly when the snapshot bytes change.
+func TestWorldMatchesReferenceModel(t *testing.T) {
+	t.Parallel()
+
+	w := &World{initPos: -3, pos: -3, set: 5}
+	r := xrand.New(42)
+	for run := 0; run < 3; run++ {
+		w.Reset(nil)
+		refPos := -3
+		lastGen := w.StateGen()
+		lastSnap := string(w.Snapshot())
+		for round := 0; round < 300; round++ {
+			var in comm.Inbox
+			switch r.Intn(4) {
+			case 0: // in-range force (may be 0: no-op)
+				f := r.Intn(2*MaxForce+1) - MaxForce
+				in.FromServer = comm.Message(fmt.Sprintf("FORCE %d", f))
+				refPos += f
+			case 1: // beyond the clamp
+				f := 3 * MaxForce
+				in.FromServer = comm.Message(fmt.Sprintf("FORCE %d", f))
+				refPos += MaxForce
+			case 2: // malformed
+				in.FromServer = "FORCE much"
+			}
+			out, err := w.Step(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantStatus := fmt.Sprintf("POS %d|SET %d", refPos, 5)
+			if string(out.ToUser) != wantStatus {
+				t.Fatalf("run %d round %d: telemetry %q, want %q", run, round, out.ToUser, wantStatus)
+			}
+			at := 0
+			if refPos == 5 {
+				at = 1
+			}
+			wantSnap := fmt.Sprintf("pos=%d;set=%d;at=%d", refPos, 5, at)
+			if got := string(w.Snapshot()); got != wantSnap {
+				t.Fatalf("run %d round %d: snapshot %q, want %q", run, round, got, wantSnap)
+			}
+			if got := string(w.AppendSnapshot([]byte("pre:"))); got != "pre:"+wantSnap {
+				t.Fatalf("run %d round %d: AppendSnapshot = %q", run, round, got)
+			}
+			gen := w.StateGen()
+			if (gen != lastGen) != (wantSnap != lastSnap) {
+				t.Fatalf("run %d round %d: gen changed=%v but snapshot changed=%v",
+					run, round, gen != lastGen, wantSnap != lastSnap)
+			}
+			lastGen, lastSnap = gen, wantSnap
+		}
+	}
+}

@@ -207,12 +207,19 @@ type World struct {
 }
 
 var (
-	_ goal.World         = (*World)(nil)
-	_ goal.StateAppender = (*World)(nil)
+	_ goal.World          = (*World)(nil)
+	_ goal.StateAppender  = (*World)(nil)
+	_ goal.StateVersioned = (*World)(nil)
 )
 
 // Instance returns the posed instance (for tests and examples).
 func (w *World) Instance() Instance { return w.instance }
+
+// StateGen implements goal.StateVersioned: the world has four states, so
+// the generation is the state's index.
+func (w *World) StateGen() uint64 {
+	return uint64(b2i(w.answered))<<1 | uint64(b2i(w.solved))
+}
 
 // Reset implements comm.Strategy.
 func (w *World) Reset(*xrand.Rand) {

@@ -182,10 +182,14 @@ type World struct {
 	queryID int
 	queryX  int
 	queryOK int
-	buf     []byte // reusable build buffer
+	buf     []byte       // reusable build buffer
+	arena   msgbuf.Arena // backs the query strings (ids grow without bound)
+	gen     uint64       // snapshot generation: bumps every round (stall is in the snapshot)
 }
 
 var _ goal.StateAppender = (*World)(nil)
+
+var _ goal.StateVersioned = (*World)(nil)
 
 var _ goal.World = (*World)(nil)
 
@@ -203,6 +207,7 @@ func (w *World) Reset(r *xrand.Rand) {
 	w.lo, w.hi = 0, w.domain()-1
 	w.x = w.pick()
 	w.query = ""
+	w.arena.Reset()
 }
 
 // pick chooses the next query point per the configured schedule.
@@ -239,6 +244,7 @@ func (w *World) Answered() int { return w.answered }
 // Step implements comm.Strategy.
 func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {
 	w.stall++
+	w.gen++ // stall is part of the snapshot, so every round is a new state
 	if rest, ok := strings.CutPrefix(string(in.FromUser), "P "); ok {
 		if idStr, bitStr, found := strings.Cut(rest, " "); found {
 			id, err1 := strconv.Atoi(idStr)
@@ -285,11 +291,19 @@ func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {
 		w.buf = msgbuf.AppendInt(w.buf, w.id-1)
 		w.buf = append(w.buf, ' ')
 		w.buf = append(w.buf, res...)
-		w.query = comm.Message(w.buf)
+		// Query ids grow without bound, so the string cannot be interned
+		// or cached; the arena amortizes a run's worth of announcements
+		// into one block allocation.
+		w.query = comm.Message(w.arena.Append(w.buf))
 		w.queryID, w.queryX, w.queryOK = w.id, w.x, w.lastOK
 	}
 	return comm.Outbox{ToUser: w.query}, nil
 }
+
+// StateGen implements goal.StateVersioned. The snapshot embeds the stall
+// counter, which changes every round, so the generation is simply bumped
+// once per Step.
+func (w *World) StateGen() uint64 { return w.gen }
 
 // Snapshot implements goal.World.
 func (w *World) Snapshot() comm.WorldState {
@@ -362,12 +376,57 @@ func ParseQuery(m comm.Message) (Query, bool) {
 	return q, true
 }
 
-// answerMsg builds "P <id> <bit>", the single allocation an answering
-// learner makes per round (ids grow without bound, so the message cannot
-// be cached).
-func answerMsg(id, bit int) comm.Message {
-	return comm.Message("P " + msgbuf.Itoa(id) + " " + msgbuf.Itoa(bit))
+// answerBuilder builds the "P <id> <bit>" answers a learner sends, one
+// per graded query. Ids grow without bound, so the strings cannot be
+// cached; the arena packs a whole execution's answers into one block
+// allocation instead of one per answer.
+type answerBuilder struct {
+	arena msgbuf.Arena
+	buf   []byte
 }
+
+func (b *answerBuilder) reset() { b.arena.Reset() }
+
+func (b *answerBuilder) msg(id, bit int) comm.Message {
+	b.buf = append(b.buf[:0], "P "...)
+	b.buf = msgbuf.AppendInt(b.buf, id)
+	b.buf = append(b.buf, ' ')
+	b.buf = msgbuf.AppendInt(b.buf, bit)
+	return comm.Message(b.arena.Append(b.buf))
+}
+
+// idRing tracks membership for a sliding set of query ids without a map:
+// ids are assigned by the world in increasing order and only ever asked
+// about while recent (a grading always references the previous query),
+// so a fixed-size direct-mapped ring — slot id&mask holds the newest id
+// in its residue class — answers every membership query a map would,
+// while Reset is a memclr and inserts never allocate.
+type idRing struct {
+	ids [idRingSize]int
+	set [idRingSize]bool
+}
+
+// idRingSize bounds how far apart a recorded id and its membership query
+// may be; gradings reference ids 1–2 behind the newest, far inside it.
+const idRingSize = 64
+
+func (r *idRing) reset() {
+	r.set = [idRingSize]bool{}
+}
+
+func (r *idRing) add(id int) int {
+	slot := id & (idRingSize - 1)
+	r.ids[slot] = id
+	r.set[slot] = true
+	return slot
+}
+
+func (r *idRing) has(id int) (int, bool) {
+	slot := id & (idRingSize - 1)
+	return slot, r.set[slot] && r.ids[slot] == id
+}
+
+func (r *idRing) remove(slot int) { r.set[slot] = false }
 
 // ThresholdUser predicts with one fixed threshold concept — candidate
 // strategy c of the enumeration, and (alone) the fixed-protocol baseline.
@@ -375,12 +434,16 @@ type ThresholdUser struct {
 	Concept int
 
 	lastID int
+	ans    answerBuilder
 }
 
 var _ comm.Strategy = (*ThresholdUser)(nil)
 
 // Reset implements comm.Strategy.
-func (u *ThresholdUser) Reset(*xrand.Rand) { u.lastID = 0 }
+func (u *ThresholdUser) Reset(*xrand.Rand) {
+	u.lastID = 0
+	u.ans.reset()
+}
 
 // Step implements comm.Strategy.
 func (u *ThresholdUser) Step(in comm.Inbox) (comm.Outbox, error) {
@@ -389,7 +452,7 @@ func (u *ThresholdUser) Step(in comm.Inbox) (comm.Outbox, error) {
 		return comm.Outbox{}, nil
 	}
 	u.lastID = q.ID
-	return comm.Outbox{ToWorld: answerMsg(q.ID, Label(u.Concept, q.X))}, nil
+	return comm.Outbox{ToWorld: u.ans.msg(q.ID, Label(u.Concept, q.X))}, nil
 }
 
 // Enum enumerates the M threshold candidates in order; paired with
@@ -409,23 +472,24 @@ func Enum(m int) enumerate.Enumerator {
 // never errs.
 func MistakeSense() sensing.Sense { return &mistakeSense{} }
 
+// mistakeSense keeps its answered-id set in an idRing rather than a map:
+// the world grades a query within a round or two of its answer, so
+// membership is only ever asked of recent ids, and the ring makes both
+// the per-answer insert and the per-switch Reset allocation-free.
 type mistakeSense struct {
-	answered map[int]bool
+	answered idRing
 }
 
 var _ sensing.Sense = (*mistakeSense)(nil)
 
-func (s *mistakeSense) Reset() { s.answered = nil }
+func (s *mistakeSense) Reset() { s.answered.reset() }
 
 func (s *mistakeSense) Observe(rv comm.RoundView) bool {
 	if rest, ok := strings.CutPrefix(string(rv.Out.ToWorld), "P "); ok {
 		if idStr, bitStr, found := strings.Cut(rest, " "); found {
 			_, bitErr := strconv.Atoi(bitStr)
 			if id, err := strconv.Atoi(idStr); err == nil && bitErr == nil {
-				if s.answered == nil {
-					s.answered = make(map[int]bool, 4)
-				}
-				s.answered[id] = true
+				s.answered.add(id)
 			}
 		}
 	}
@@ -433,8 +497,8 @@ func (s *mistakeSense) Observe(rv comm.RoundView) bool {
 	if !ok {
 		return true // no grading information this round
 	}
-	if q.Res == "bad" && s.answered[q.ResID] {
-		delete(s.answered, q.ResID) // penalize each mistake once
+	if slot, have := s.answered.has(q.ResID); have && q.Res == "bad" {
+		s.answered.remove(slot) // penalize each mistake once
 		return false
 	}
 	return true
@@ -449,7 +513,9 @@ type HalvingUser struct {
 
 	lo, hi  int
 	lastID  int
-	pending map[int]answer // id → what we answered and for which x
+	pending idRing             // ids answered but not yet graded
+	answers [idRingSize]answer // what we answered, parallel to pending's slots
+	ans     answerBuilder
 }
 
 type answer struct {
@@ -467,7 +533,8 @@ func (u *HalvingUser) Reset(*xrand.Rand) {
 	}
 	u.lo, u.hi = 0, m-1
 	u.lastID = 0
-	u.pending = make(map[int]answer, 4)
+	u.pending.reset()
+	u.ans.reset()
 }
 
 // Step implements comm.Strategy.
@@ -479,7 +546,8 @@ func (u *HalvingUser) Step(in comm.Inbox) (comm.Outbox, error) {
 
 	// Apply feedback for the query we answered previously: narrow the
 	// version space to concepts consistent with the revealed label.
-	if prev, have := u.pending[q.ResID]; have && q.Res != "none" {
+	if slot, have := u.pending.has(q.ResID); have && q.Res != "none" {
+		prev := u.answers[slot]
 		trueBit := prev.bit
 		if q.Res == "bad" {
 			trueBit = 1 - prev.bit
@@ -505,7 +573,7 @@ func (u *HalvingUser) Step(in comm.Inbox) (comm.Outbox, error) {
 			}
 			u.lo, u.hi = 0, m-1
 		}
-		delete(u.pending, q.ResID)
+		u.pending.remove(slot)
 	}
 
 	if q.ID == u.lastID {
@@ -520,6 +588,6 @@ func (u *HalvingUser) Step(in comm.Inbox) (comm.Outbox, error) {
 	if q.X >= mid {
 		bit = 1
 	}
-	u.pending[q.ID] = answer{x: q.X, bit: bit}
-	return comm.Outbox{ToWorld: answerMsg(q.ID, bit)}, nil
+	u.answers[u.pending.add(q.ID)] = answer{x: q.X, bit: bit}
+	return comm.Outbox{ToWorld: u.ans.msg(q.ID, bit)}, nil
 }

@@ -129,20 +129,30 @@ func (g *Goal) ForgivingGoal() bool { return g.Paper == 0 }
 //
 // World→user message format: "TASK <target>|PRINTED <lastPrinted>".
 // Snapshot format: "target=<target>;printed=<count>;done=<0|1>".
+// Hot-path layout: the round loop reads only the scalar fields (count,
+// last, done) — the printed log is kept for Printout() and appended to,
+// never scanned. State-change detection is the gen counter: it bumps
+// exactly when a document lands, which is exactly when the announcement
+// and the snapshot change, so both caches key on one integer compare.
 type World struct {
 	target  string
-	paper   int // 0 = unlimited
-	printed []string
+	paper   int      // 0 = unlimited
+	printed []string // full log, storage reused across Reset
+	last    string   // printed[len-1], the only log entry the loop reads
 	done    bool
+	gen     uint64 // snapshot/status generation: bumps when a doc lands
 
-	status     comm.Message // cached announcement, rebuilt when the last printout changes
+	status     comm.Message // cached announcement, keyed on the document it reports
 	statusLast string
 	buf        []byte // reusable build buffer
+	snap       []byte // cached snapshot bytes, valid while snapGen == gen
+	snapGen    uint64
 }
 
 var (
-	_ goal.World         = (*World)(nil)
-	_ goal.StateAppender = (*World)(nil)
+	_ goal.World          = (*World)(nil)
+	_ goal.StateAppender  = (*World)(nil)
+	_ goal.StateVersioned = (*World)(nil)
 )
 
 // Target returns the document the user is tasked with printing.
@@ -167,11 +177,15 @@ func (w *World) PaperLeft() int {
 	return left
 }
 
-// Reset implements comm.Strategy.
+// Reset implements comm.Strategy. The printed log keeps its storage
+// (entries are cleared so no document string outlives its run), so a
+// reused world re-runs without regrowing the slice.
 func (w *World) Reset(*xrand.Rand) {
-	w.printed = nil
+	clear(w.printed)
+	w.printed = w.printed[:0]
+	w.last = ""
 	w.done = false
-	w.status = ""
+	w.gen++ // invalidates the status and snapshot caches
 }
 
 // Step implements comm.Strategy.
@@ -179,27 +193,32 @@ func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {
 	if doc, ok := strings.CutPrefix(string(in.FromServer), "EMIT "); ok {
 		if w.paper == 0 || len(w.printed) < w.paper {
 			w.printed = append(w.printed, doc)
+			w.last = doc
 			if doc == w.target {
 				w.done = true
 			}
+			w.gen++
 		}
 	}
-	last := ""
-	if len(w.printed) > 0 {
-		last = w.printed[len(w.printed)-1]
-	}
-	// The announcement only changes when something new lands on the
-	// printout; a quiescent printer re-sends one cached string.
-	if w.status == "" || w.statusLast != last {
+	// The announcement depends only on the most recent document, not the
+	// count, so it is keyed on that string (not the generation): a
+	// printer re-emitting the same page — the converged steady state —
+	// re-sends one cached announcement. Usually a pointer-equal compare.
+	if w.status == "" || w.statusLast != w.last {
 		w.buf = append(w.buf[:0], "TASK "...)
 		w.buf = append(w.buf, w.target...)
 		w.buf = append(w.buf, "|PRINTED "...)
-		w.buf = append(w.buf, last...)
+		w.buf = append(w.buf, w.last...)
 		w.status = comm.Message(w.buf)
-		w.statusLast = last
+		w.statusLast = w.last
 	}
 	return comm.Outbox{ToUser: w.status}, nil
 }
+
+// StateGen implements goal.StateVersioned: the generation advances
+// exactly when a document lands (or the world resets), which is exactly
+// when the snapshot's count/done fields change.
+func (w *World) StateGen() uint64 { return w.gen }
 
 // Snapshot implements goal.World.
 func (w *World) Snapshot() comm.WorldState {
@@ -208,16 +227,23 @@ func (w *World) Snapshot() comm.WorldState {
 
 // AppendSnapshot implements goal.StateAppender:
 // "target=<target>;printed=<count>;done=<0|1>", byte-identical to
-// Snapshot.
+// Snapshot. The encoding is cached per generation, so quiescent rounds
+// copy bytes instead of re-formatting.
 func (w *World) AppendSnapshot(dst []byte) []byte {
-	dst = append(dst, "target="...)
-	dst = append(dst, w.target...)
-	dst = append(dst, ";printed="...)
-	dst = msgbuf.AppendInt(dst, len(w.printed))
-	if w.done {
-		return append(dst, ";done=1"...)
+	if len(w.snap) == 0 || w.snapGen != w.gen {
+		b := append(w.snap[:0], "target="...)
+		b = append(b, w.target...)
+		b = append(b, ";printed="...)
+		b = msgbuf.AppendInt(b, len(w.printed))
+		if w.done {
+			b = append(b, ";done=1"...)
+		} else {
+			b = append(b, ";done=0"...)
+		}
+		w.snap = b
+		w.snapGen = w.gen
 	}
-	return append(dst, ";done=0"...)
+	return append(dst, w.snap...)
 }
 
 // ParseWorldMsg extracts the task and last-printed fields from a world
@@ -250,8 +276,10 @@ type Server struct {
 
 var _ comm.Strategy = (*Server)(nil)
 
-// Reset implements comm.Strategy.
-func (s *Server) Reset(*xrand.Rand) { s.memo.Reset() }
+// Reset implements comm.Strategy. The memo persists: Step is a pure
+// function of the incoming command, so its entry from a previous run is
+// still correct.
+func (s *Server) Reset(*xrand.Rand) {}
 
 // Step implements comm.Strategy.
 func (s *Server) Step(in comm.Inbox) (comm.Outbox, error) {

@@ -353,3 +353,68 @@ func TestRefereeMonotone(t *testing.T) {
 		}
 	}
 }
+
+// TestWorldMatchesReferenceModel drives the SoA printout (ISSUE 6: scalar
+// last/done/gen layout with a string-keyed announcement cache) against a
+// straightforward string-slice reference with Sprintf encodings, over
+// random EMIT traffic including repeats of the same page and junk —
+// across several Reset cycles. Announcement and snapshot must be
+// byte-identical every round, and StateGen must change exactly when the
+// snapshot bytes change.
+func TestWorldMatchesReferenceModel(t *testing.T) {
+	t.Parallel()
+
+	docs := []string{"report7", "thesis3", "memo42"}
+	w := &World{target: "thesis3"}
+	r := xrand.New(17)
+	for run := 0; run < 3; run++ {
+		w.Reset(nil)
+		var printed []string
+		refDone := false
+		lastGen := w.StateGen()
+		lastSnap := string(w.Snapshot())
+		for round := 0; round < 300; round++ {
+			var in comm.Inbox
+			switch r.Intn(4) {
+			case 0, 1: // emit a page (repeats are common in steady state)
+				doc := docs[r.Intn(len(docs))]
+				in.FromServer = comm.Message("EMIT " + doc)
+				printed = append(printed, doc)
+				if doc == "thesis3" {
+					refDone = true
+				}
+			case 2: // junk
+				in.FromServer = "READY"
+			}
+			out, err := w.Step(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last := ""
+			if len(printed) > 0 {
+				last = printed[len(printed)-1]
+			}
+			wantStatus := fmt.Sprintf("TASK %s|PRINTED %s", "thesis3", last)
+			if string(out.ToUser) != wantStatus {
+				t.Fatalf("run %d round %d: announcement %q, want %q", run, round, out.ToUser, wantStatus)
+			}
+			done := 0
+			if refDone {
+				done = 1
+			}
+			wantSnap := fmt.Sprintf("target=%s;printed=%d;done=%d", "thesis3", len(printed), done)
+			if got := string(w.Snapshot()); got != wantSnap {
+				t.Fatalf("run %d round %d: snapshot %q, want %q", run, round, got, wantSnap)
+			}
+			if got := string(w.AppendSnapshot([]byte("pre:"))); got != "pre:"+wantSnap {
+				t.Fatalf("run %d round %d: AppendSnapshot = %q", run, round, got)
+			}
+			gen := w.StateGen()
+			if (gen != lastGen) != (wantSnap != lastSnap) {
+				t.Fatalf("run %d round %d: gen changed=%v but snapshot changed=%v",
+					run, round, gen != lastGen, wantSnap != lastSnap)
+			}
+			lastGen, lastSnap = gen, wantSnap
+		}
+	}
+}

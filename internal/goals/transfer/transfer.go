@@ -44,8 +44,23 @@ func Vocabulary() []string { return []string{cmdStore, rspStored} }
 // progress a candidate survives. Noisy channels need larger values.
 const DefaultPatience = 8
 
+// dataCache precomputes chunk contents for the indices real payloads use
+// (K defaults to 8), so the world's per-arrival validation — which
+// compares each released chunk against Data(i) — allocates nothing.
+var dataCache = func() (a [64]string) {
+	for i := range a {
+		a[i] = "blob" + strconv.Itoa(i)
+	}
+	return
+}()
+
 // Data returns the canonical content of chunk i.
-func Data(i int) string { return fmt.Sprintf("blob%d", i) }
+func Data(i int) string {
+	if i >= 0 && i < len(dataCache) {
+		return dataCache[i]
+	}
+	return fmt.Sprintf("blob%d", i)
+}
 
 // Goal is the compact transfer goal. K is the number of chunks (0 means
 // 8); the environment choice is trivial — the payload is canonical.
@@ -97,74 +112,94 @@ func (g *Goal) ForgivingGoal() bool { return true }
 
 // World is the storage endpoint: it validates released chunks and reports
 // the stored set every round. Snapshot: "have=<n>/<K>;done=<0|1>".
+// Hot-path layout: the stored set is carried as incrementally-maintained
+// scalars (count, bitmask, generation) — the have slice is touched only
+// on chunk arrival, to dedupe re-releases. State-change detection is the
+// gen counter: it bumps exactly when a new chunk lands, which is exactly
+// when the status and snapshot change.
 type World struct {
 	K int
 
-	have []bool
+	have  []bool
+	cnt   int    // number of stored chunks, maintained incrementally
+	cmask uint64 // bitmask of stored chunks < 64, maintained incrementally
+	gen   uint64 // snapshot/status generation: bumps when a new chunk lands
 
-	status     comm.Message // cached status, rebuilt when the stored set changes
-	statusMask uint64
-	buf        []byte // reusable build buffer
+	status    comm.Message                       // cached status, rebuilt when the stored set changes
+	statusTab msgbuf.Table[uint64, comm.Message] // mask → status, survives Reset
+	statusK   int                                // K the table was built for
+	statusGen uint64
+	buf       []byte // reusable build buffer
+	snap      []byte // cached snapshot bytes, valid while snapGen == gen
+	snapGen   uint64
 }
 
 var (
-	_ goal.World         = (*World)(nil)
-	_ goal.StateAppender = (*World)(nil)
+	_ goal.World          = (*World)(nil)
+	_ goal.StateAppender  = (*World)(nil)
+	_ goal.StateVersioned = (*World)(nil)
 )
 
-// Reset implements comm.Strategy.
+// Reset implements comm.Strategy. The status table persists across Reset:
+// statuses are pure functions of (K, mask), so a reused world re-serves
+// last run's strings instead of rebuilding them.
 func (w *World) Reset(*xrand.Rand) {
 	if len(w.have) == w.K {
 		clear(w.have)
 	} else {
 		w.have = make([]bool, w.K)
 	}
+	w.cnt = 0
+	w.cmask = 0
 	w.status = ""
+	if w.statusK != w.K {
+		w.statusTab.Reset()
+		w.statusK = w.K
+	}
+	w.gen++ // invalidates the status and snapshot caches
 }
 
-func (w *World) count() int {
-	n := 0
-	for _, h := range w.have {
-		if h {
-			n++
-		}
-	}
-	return n
-}
-
-func (w *World) mask() uint64 {
-	var m uint64
-	for i, h := range w.have {
-		if h && i < 64 {
-			m |= 1 << uint(i)
-		}
-	}
-	return m
-}
+func (w *World) count() int { return w.cnt }
 
 // Step implements comm.Strategy.
 func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {
 	if rest, ok := strings.CutPrefix(string(in.FromServer), "REL "); ok {
-		fields := strings.SplitN(rest, " ", 2)
-		if len(fields) == 2 {
-			if i, err := strconv.Atoi(fields[0]); err == nil &&
-				i >= 0 && i < w.K && fields[1] == Data(i) {
+		if idx, data, found := strings.Cut(rest, " "); found {
+			if i, err := strconv.Atoi(idx); err == nil &&
+				i >= 0 && i < w.K && data == Data(i) && !w.have[i] {
 				w.have[i] = true
+				w.cnt++
+				if i < 64 {
+					w.cmask |= 1 << uint(i)
+				}
+				w.gen++
 			}
 		}
 	}
 	// The status only changes when a chunk lands; between arrivals one
-	// cached string is re-sent.
-	if mask := w.mask(); w.status == "" || w.statusMask != mask {
-		w.buf = append(w.buf[:0], "WANT "...)
-		w.buf = msgbuf.AppendInt(w.buf, w.K)
-		w.buf = append(w.buf, "|HAVE "...)
-		w.buf = msgbuf.AppendUint(w.buf, mask)
-		w.status = comm.Message(w.buf)
-		w.statusMask = mask
+	// cached string is re-sent. Distinct masks are memoized in a
+	// Reset-surviving table, so a reused world's whole run serves cached
+	// strings.
+	if w.status == "" || w.statusGen != w.gen {
+		if s, ok := w.statusTab.Get(w.cmask); ok {
+			w.status = s
+		} else {
+			w.buf = append(w.buf[:0], "WANT "...)
+			w.buf = msgbuf.AppendInt(w.buf, w.K)
+			w.buf = append(w.buf, "|HAVE "...)
+			w.buf = msgbuf.AppendUint(w.buf, w.cmask)
+			w.status = comm.Message(w.buf) // string conversion copies
+			w.statusTab.Put(w.cmask, w.status)
+		}
+		w.statusGen = w.gen
 	}
 	return comm.Outbox{ToUser: w.status}, nil
 }
+
+// StateGen implements goal.StateVersioned: the generation advances
+// exactly when a new chunk is stored (or the world resets), which is
+// exactly when the snapshot's count/done fields change.
+func (w *World) StateGen() uint64 { return w.gen }
 
 // Snapshot implements goal.World.
 func (w *World) Snapshot() comm.WorldState {
@@ -172,17 +207,24 @@ func (w *World) Snapshot() comm.WorldState {
 }
 
 // AppendSnapshot implements goal.StateAppender:
-// "have=<n>/<K>;done=<0|1>", byte-identical to Snapshot.
+// "have=<n>/<K>;done=<0|1>", byte-identical to Snapshot. The encoding is
+// cached per generation, so quiescent rounds copy bytes instead of
+// re-formatting.
 func (w *World) AppendSnapshot(dst []byte) []byte {
-	n := w.count()
-	dst = append(dst, "have="...)
-	dst = msgbuf.AppendInt(dst, n)
-	dst = append(dst, '/')
-	dst = msgbuf.AppendInt(dst, w.K)
-	if n == w.K {
-		return append(dst, ";done=1"...)
+	if len(w.snap) == 0 || w.snapGen != w.gen {
+		b := append(w.snap[:0], "have="...)
+		b = msgbuf.AppendInt(b, w.cnt)
+		b = append(b, '/')
+		b = msgbuf.AppendInt(b, w.K)
+		if w.cnt == w.K {
+			b = append(b, ";done=1"...)
+		} else {
+			b = append(b, ";done=0"...)
+		}
+		w.snap = b
+		w.snapGen = w.gen
 	}
-	return append(dst, ";done=0"...)
+	return append(dst, w.snap...)
 }
 
 // ParseStatus decodes the world's status message.
@@ -216,8 +258,10 @@ type Server struct {
 
 var _ comm.Strategy = (*Server)(nil)
 
-// Reset implements comm.Strategy.
-func (s *Server) Reset(*xrand.Rand) { s.memo.Reset() }
+// Reset implements comm.Strategy. The memo persists: Step is a pure
+// function of the incoming command, so entries from a previous run are
+// still correct and a reused server replays a transfer allocation-free.
+func (s *Server) Reset(*xrand.Rand) {}
 
 // Step implements comm.Strategy.
 func (s *Server) Step(in comm.Inbox) (comm.Outbox, error) {

@@ -239,3 +239,73 @@ func TestGoalMetadata(t *testing.T) {
 		t.Fatal("default K wrong")
 	}
 }
+
+// TestWorldMatchesReferenceModel drives the SoA world (ISSUE 6: scalar
+// count/bitmask/generation layout with cached status and snapshot bytes)
+// against a straightforward bool-slice reference model with Sprintf
+// encodings, over random REL traffic including duplicates, bad indices,
+// corrupt payloads, and junk — across several Reset cycles. Status and
+// snapshot must be byte-identical every round, and StateGen must change
+// exactly when the snapshot bytes change.
+func TestWorldMatchesReferenceModel(t *testing.T) {
+	t.Parallel()
+
+	const K = 8
+	w := &World{K: K}
+	r := xrand.New(99)
+	for run := 0; run < 3; run++ {
+		w.Reset(nil)
+		ref := make([]bool, K)
+		lastGen := w.StateGen()
+		lastSnap := string(w.Snapshot())
+		for round := 0; round < 300; round++ {
+			var in comm.Inbox
+			switch r.Intn(6) {
+			case 0: // valid chunk (possibly a duplicate re-release)
+				i := r.Intn(K)
+				in.FromServer = comm.Message(fmt.Sprintf("REL %d %s", i, Data(i)))
+				ref[i] = true
+			case 1: // wrong payload: must be rejected
+				in.FromServer = comm.Message(fmt.Sprintf("REL %d junk", r.Intn(K)))
+			case 2: // out-of-range index: must be rejected
+				in.FromServer = comm.Message(fmt.Sprintf("REL %d %s", K+r.Intn(4), Data(K)))
+			case 3: // malformed
+				in.FromServer = "REL nope"
+			case 4:
+				in.FromServer = "HELLO"
+			}
+			out, err := w.Step(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, mask := 0, uint64(0)
+			for i, h := range ref {
+				if h {
+					n++
+					mask |= 1 << uint(i)
+				}
+			}
+			wantStatus := fmt.Sprintf("WANT %d|HAVE %d", K, mask)
+			if string(out.ToUser) != wantStatus {
+				t.Fatalf("run %d round %d: status %q, want %q", run, round, out.ToUser, wantStatus)
+			}
+			done := 0
+			if n == K {
+				done = 1
+			}
+			wantSnap := fmt.Sprintf("have=%d/%d;done=%d", n, K, done)
+			if got := string(w.Snapshot()); got != wantSnap {
+				t.Fatalf("run %d round %d: snapshot %q, want %q", run, round, got, wantSnap)
+			}
+			if got := string(w.AppendSnapshot([]byte("pre:"))); got != "pre:"+wantSnap {
+				t.Fatalf("run %d round %d: AppendSnapshot = %q", run, round, got)
+			}
+			gen := w.StateGen()
+			if (gen != lastGen) != (wantSnap != lastSnap) {
+				t.Fatalf("run %d round %d: gen changed=%v but snapshot changed=%v",
+					run, round, gen != lastGen, wantSnap != lastSnap)
+			}
+			lastGen, lastSnap = gen, wantSnap
+		}
+	}
+}

@@ -74,12 +74,22 @@ type World struct {
 }
 
 var (
-	_ goal.World         = (*World)(nil)
-	_ goal.StateAppender = (*World)(nil)
+	_ goal.World          = (*World)(nil)
+	_ goal.StateAppender  = (*World)(nil)
+	_ goal.StateVersioned = (*World)(nil)
 )
 
 // Reset implements comm.Strategy.
 func (w *World) Reset(*xrand.Rand) { w.open = false }
+
+// StateGen implements goal.StateVersioned: the vault has exactly two
+// states, so the generation is the state itself.
+func (w *World) StateGen() uint64 {
+	if w.open {
+		return 1
+	}
+	return 0
+}
 
 // Step implements comm.Strategy.
 func (w *World) Step(in comm.Inbox) (comm.Outbox, error) {

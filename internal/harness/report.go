@@ -48,6 +48,27 @@ type SweepBench struct {
 	// heaps).
 	Mallocs        int64   `json:"mallocs,omitempty"`
 	AllocsPerRound float64 `json:"allocsPerRound,omitempty"`
+
+	// PerGoal breaks the sweep down by goal axis value, each entry
+	// measured as its own timed sub-sweep over the goal's restriction of
+	// the spec. Present only in locally-produced full-selection artifacts
+	// (goalsweep -bench without -sample); a goal whose trials are cheap
+	// per round shows up here even when the aggregate rate hides it.
+	PerGoal []GoalBench `json:"perGoal,omitempty"`
+}
+
+// GoalBench is one goal's slice of a sweep throughput artifact.
+type GoalBench struct {
+	Goal        string `json:"goal"`
+	Scenarios   int    `json:"scenarios"`
+	Trials      int    `json:"trials"`
+	TotalRounds int64  `json:"totalRounds"`
+
+	ElapsedNs    int64   `json:"elapsedNs"`
+	RoundsPerSec float64 `json:"roundsPerSec"`
+
+	Mallocs        int64   `json:"mallocs,omitempty"`
+	AllocsPerRound float64 `json:"allocsPerRound,omitempty"`
 }
 
 // CertReport is the machine-readable form of a certification run: the

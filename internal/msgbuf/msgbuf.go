@@ -14,7 +14,10 @@
 // packages, the engine) can use it.
 package msgbuf
 
-import "strconv"
+import (
+	"strconv"
+	"strings"
+)
 
 // Cached decimal strings cover the small magnitudes message protocols
 // actually use (positions, forces, chunk indices, round counts).
@@ -109,6 +112,57 @@ func (in *Interner) Intern(b []byte) string {
 
 // Len reports the number of distinct strings currently interned.
 func (in *Interner) Len() int { return len(in.m) }
+
+// Arena is a bump allocator for immutable strings whose values never
+// repeat — message streams with unbounded identifiers (a learning run's
+// query ids) that no cache or interner can collapse. Individually such
+// strings cost one allocation each; an Arena packs them back to back
+// into one shared block, so a whole execution's worth costs one block
+// allocation.
+//
+// Safety: the arena only ever appends. Bytes underlying a returned
+// string are never rewritten — Reset abandons the current block to the
+// strings already carved from it and starts a fresh one — so returned
+// strings stay valid forever, exactly like individually allocated ones.
+// The block is a strings.Builder, whose String views are the language's
+// sanctioned way to expose a growing buffer as immutable strings. An
+// Arena is not safe for concurrent use. The zero value is ready to use.
+type Arena struct {
+	b   strings.Builder
+	off int // start of the not-yet-returned tail of the block
+	hwm int // high-water mark: bytes used last cycle, sizes the next block
+}
+
+// Append copies p into the arena and returns it as a string.
+func (a *Arena) Append(p []byte) string {
+	if a.b.Cap() == 0 {
+		// Fresh block: pre-size to the previous cycle's usage so a
+		// steady-state caller pays exactly one allocation per Reset
+		// cycle instead of a doubling growth sequence.
+		n := a.hwm
+		if n < 256 {
+			n = 256
+		}
+		a.b.Grow(n)
+	}
+	a.b.Write(p)
+	s := a.b.String()
+	out := s[a.off:]
+	a.off = len(s)
+	return out
+}
+
+// Reset starts a fresh block, abandoning the current one to the strings
+// already returned (which remain valid). Call it wherever the owning
+// strategy's Reset runs, so each execution reuses the arena's sizing
+// without any execution's strings aliasing another's storage.
+func (a *Arena) Reset() {
+	if used := a.b.Len(); used > a.hwm {
+		a.hwm = used
+	}
+	a.b.Reset()
+	a.off = 0
+}
 
 // Memo1 is a single-entry memo for pure functions on the hot path: the
 // common steady state — a strategy re-sending one command every other

@@ -22,8 +22,14 @@ type Scenario struct {
 	// Index is the scenario's position in the spec's enumeration order.
 	Index int64
 
-	// Values are the resolved coordinates, in spec axis order.
+	// Values are the resolved coordinates, in spec axis order. Values
+	// must not be mutated after the first Hash or ID call: both are
+	// content-derived and memoized on first use.
 	Values []AxisValue
+
+	hash   uint64 // memoized Hash
+	hashOK bool
+	id     string // memoized ID
 }
 
 // findAxis looks a coordinate up by axis name.
@@ -106,27 +112,48 @@ func fnv1aLine(h uint64, s string) uint64 {
 // or extend value lists. The length prefixes make the encoding injective:
 // names or values containing the separator characters cannot collide with
 // a different coordinate assignment.
+// The hash is memoized: the per-trial seed derivation calls Hash once
+// per trial, so only the first call pays for encoding and sorting.
 func (sc *Scenario) Hash() uint64 {
+	if sc.hashOK {
+		return sc.hash
+	}
 	keys := make([]string, len(sc.Values))
+	var b []byte
 	for i, av := range sc.Values {
-		keys[i] = fmt.Sprintf("%d:%s=%d:%s", len(av.Name), av.Name, len(av.Value), av.Value)
+		// "%d:%s=%d:%s" with the coordinate's lengths and strings.
+		b = strconv.AppendInt(b[:0], int64(len(av.Name)), 10)
+		b = append(b, ':')
+		b = append(b, av.Name...)
+		b = append(b, '=')
+		b = strconv.AppendInt(b, int64(len(av.Value)), 10)
+		b = append(b, ':')
+		b = append(b, av.Value...)
+		keys[i] = string(b)
 	}
 	sort.Strings(keys)
 	h := uint64(offset64)
 	for _, k := range keys {
 		h = fnv1aLine(h, k)
 	}
+	sc.hash, sc.hashOK = h, true
 	return h
 }
 
 // ID is the scenario's stable content-derived identifier: the goal axis
 // value (when present) plus the 16-hex-digit content hash. Two scenarios
 // share an ID iff they assign the same values to the same axes.
+// The ID string is memoized alongside the hash.
 func (sc *Scenario) ID() string {
-	if g, ok := sc.Get("goal"); ok {
-		return fmt.Sprintf("%s-%016x", g, sc.Hash())
+	if sc.id != "" {
+		return sc.id
 	}
-	return fmt.Sprintf("%016x", sc.Hash())
+	if g, ok := sc.Get("goal"); ok {
+		sc.id = fmt.Sprintf("%s-%016x", g, sc.Hash())
+	} else {
+		sc.id = fmt.Sprintf("%016x", sc.Hash())
+	}
+	return sc.id
 }
 
 // String renders the scenario as its coordinates, for logs.

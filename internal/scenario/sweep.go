@@ -39,6 +39,11 @@ type SweepConfig struct {
 	// reduce peak in-flight state.
 	ChunkTrials int
 
+	// TrialBatch is how many consecutive trials an engine worker claims
+	// per scheduling step (system.BatchConfig.TrialBatch); values < 1
+	// mean 1. Output is byte-identical at every setting.
+	TrialBatch int
+
 	// Cache, when non-nil, is consulted before a scenario is scheduled
 	// and updated after it executes: scenarios whose aggregates are
 	// already stored under the sweep's (registry version, base seed,
@@ -371,7 +376,10 @@ func (m *Matrix) Sweep(indices []int64, cfg SweepConfig) (*Summary, error) {
 		}
 		var errs []error
 		if len(trials) > 0 {
-			results, errList := system.RunEach(trials, system.BatchConfig{Parallelism: cfg.Parallel})
+			results, errList := system.RunEach(trials, system.BatchConfig{
+				Parallelism: cfg.Parallel,
+				TrialBatch:  cfg.TrialBatch,
+			})
 			for _, res := range results {
 				system.ReleaseResult(res)
 			}

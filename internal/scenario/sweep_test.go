@@ -139,6 +139,45 @@ func TestSweepParallelismInvariant(t *testing.T) {
 	}
 }
 
+// TestSweepTrialBatchInvariant pins that SweepConfig.TrialBatch is a
+// pure scheduling knob: every batch size, serial or parallel, yields
+// stats and summaries identical to the unbatched serial sweep.
+func TestSweepTrialBatchInvariant(t *testing.T) {
+	t.Parallel()
+
+	spec, err := BuiltinSpec("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marshal := func(v any) string {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	wantStats, wantSum := collectStats(t, m, SweepConfig{Parallel: 1})
+	for _, cfg := range []SweepConfig{
+		{Parallel: 1, TrialBatch: 4},
+		{Parallel: 1, TrialBatch: 64},
+		{Parallel: 4, TrialBatch: 3},
+		{Parallel: 4, TrialBatch: 16, ChunkTrials: 5},
+		{Parallel: 8, TrialBatch: 64},
+	} {
+		stats, sum := collectStats(t, m, cfg)
+		if a, b := marshal(wantStats), marshal(stats); a != b {
+			t.Fatalf("%+v: sweep stats differ from serial unbatched:\n%s\n%s", cfg, a, b)
+		}
+		if a, b := marshal(wantSum), marshal(sum); a != b {
+			t.Fatalf("%+v: sweep summary differs from serial unbatched:\n%s\n%s", cfg, a, b)
+		}
+	}
+}
+
 // TestSweepSampleSubsetAgrees checks that sampling draws the same
 // aggregates the full enumeration produces for those scenarios — the
 // content-derived seed derivation makes a scenario's trials independent of

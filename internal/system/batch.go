@@ -44,6 +44,14 @@ type BatchConfig struct {
 	// overriding each Trial.Config.Seed. Leave 0 when trials carry
 	// their own seeds.
 	Seed uint64
+
+	// TrialBatch is the number of consecutive trials a worker claims per
+	// scheduling step; values < 1 mean 1. Larger batches amortize the
+	// shared-counter contention of very short trials across K runs.
+	// Because every trial's result lands in its submission-order slot and
+	// seeds derive from the trial index alone, batching never changes any
+	// output — only which worker runs which trial.
+	TrialBatch int
 }
 
 func (cfg BatchConfig) workers(n int) int {
@@ -120,12 +128,16 @@ func runPool(trials []Trial, cfg BatchConfig, failFast bool) ([]*Result, []error
 		return results, errs
 	}
 
+	batch := int64(cfg.TrialBatch)
+	if batch < 1 {
+		batch = 1
+	}
+
 	var (
 		next   atomic.Int64
 		failed atomic.Int64
 		wg     sync.WaitGroup
 	)
-	next.Store(-1)
 	failed.Store(int64(n)) // sentinel: no failure yet
 
 	for w := 0; w < workers; w++ {
@@ -137,21 +149,28 @@ func runPool(trials []Trial, cfg BatchConfig, failFast bool) ([]*Result, []error
 			scr := scratchPool.Get().(*snapScratch)
 			defer scratchPool.Put(scr)
 			for {
-				i := next.Add(1)
-				if i >= int64(n) {
+				// Claim the next contiguous block of trial indices.
+				base := next.Add(batch) - batch
+				if base >= int64(n) {
 					return
 				}
-				if failFast && i > failed.Load() {
-					continue
+				end := base + batch
+				if end > int64(n) {
+					end = int64(n)
 				}
-				res, err := runTrial(&trials[i], int(i), cfg, scr)
-				results[i], errs[i] = res, err
-				if err != nil {
-					// CAS-min the failure index.
-					for {
-						cur := failed.Load()
-						if i >= cur || failed.CompareAndSwap(cur, i) {
-							break
+				for i := base; i < end; i++ {
+					if failFast && i > failed.Load() {
+						continue
+					}
+					res, err := runTrial(&trials[i], int(i), cfg, scr)
+					results[i], errs[i] = res, err
+					if err != nil {
+						// CAS-min the failure index.
+						for {
+							cur := failed.Load()
+							if i >= cur || failed.CompareAndSwap(cur, i) {
+								break
+							}
 						}
 					}
 				}

@@ -280,3 +280,35 @@ func TestRecordPolicyString(t *testing.T) {
 		}
 	}
 }
+
+// TestRunBatchTrialBatchInvariant pins the ISSUE 6 batching contract:
+// TrialBatch controls only how many consecutive trials a worker claims
+// per counter bump, never which result lands in which slot — every
+// batch size at every parallelism reproduces the serial run exactly.
+func TestRunBatchTrialBatchInvariant(t *testing.T) {
+	const n, rounds = 23, 40
+	mkTrials := func() []Trial { return rngTrials(n, rounds) }
+
+	want, err := RunBatch(mkTrials(), BatchConfig{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 8} {
+		for _, batch := range []int{0, 1, 3, 16, 64} {
+			got, err := RunBatch(mkTrials(), BatchConfig{Parallelism: par, TrialBatch: batch})
+			if err != nil {
+				t.Fatalf("par %d batch %d: %v", par, batch, err)
+			}
+			if len(got) != n {
+				t.Fatalf("par %d batch %d: %d results, want %d", par, batch, len(got), n)
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i].History, want[i].History) ||
+					!reflect.DeepEqual(got[i].View, want[i].View) ||
+					got[i].Rounds != want[i].Rounds || got[i].Halted != want[i].Halted {
+					t.Fatalf("par %d batch %d: trial %d diverges from serial", par, batch, i)
+				}
+			}
+		}
+	}
+}

@@ -214,6 +214,21 @@ func run(user, server comm.Strategy, world goal.World, cfg Config, scr *snapScra
 
 	halter, _ := user.(comm.Halter)
 
+	// Versioned worlds let the engine skip re-serializing an unchanged
+	// state: when StateGen repeats, the previous round's snapshot string
+	// is reused verbatim (the StateVersioned contract guarantees the
+	// bytes would be identical). The cache is local to this run, so
+	// generations are never compared across runs.
+	var versioned goal.StateVersioned
+	if needState {
+		versioned, _ = world.(goal.StateVersioned)
+	}
+	var (
+		lastGen   uint64
+		lastState comm.WorldState
+		haveState bool
+	)
+
 	res := acquireResult()
 
 	// Messages in flight: produced last round, delivered this round.
@@ -253,7 +268,16 @@ func run(user, server comm.Strategy, world goal.World, cfg Config, scr *snapScra
 
 		var state comm.WorldState
 		if needState {
-			state = scr.snapshot(world)
+			if versioned != nil {
+				if gen := versioned.StateGen(); haveState && gen == lastGen {
+					state = lastState
+				} else {
+					state = scr.snapshot(world)
+					lastGen, lastState, haveState = gen, state, true
+				}
+			} else {
+				state = scr.snapshot(world)
+			}
 		}
 		rv := comm.RoundView{In: userIn, Out: userOut}
 		switch {

@@ -38,7 +38,23 @@ type CompactUser struct {
 	inner    comm.Strategy
 	index    int
 	switches int
+
+	// cands caches one constructed candidate (and its reusable RNG) per
+	// canonical enumeration index, so cycling through a bounded class —
+	// within a run or across Resets — re-Resets existing strategies
+	// instead of constructing fresh ones. See install.
+	cands []candSlot
 }
+
+// candSlot is one entry of the candidate cache.
+type candSlot struct {
+	s comm.Strategy
+	r *xrand.Rand
+}
+
+// candCacheSize bounds the candidate cache: classes larger than this
+// construct candidates on demand, as before.
+const candCacheSize = 64
 
 var _ comm.Strategy = (*CompactUser)(nil)
 
@@ -66,6 +82,27 @@ func (u *CompactUser) Reset(r *xrand.Rand) {
 }
 
 func (u *CompactUser) install() {
+	// For bounded classes of modest size, candidate strategies are cached
+	// per canonical index and re-Reset instead of reconstructed. This is
+	// behavior-preserving: enumerators are stable (Strategy(i) always
+	// describes the same strategy), Reset fully reinitializes a strategy,
+	// and SplitInto advances u.r exactly as Split does, so every party
+	// sees identical RNG streams with or without the cache.
+	if size := u.enum.Size(); size != enumerate.Unbounded && size > 0 && size <= candCacheSize {
+		if len(u.cands) != size {
+			u.cands = make([]candSlot, size)
+		}
+		sl := &u.cands[((u.index%size)+size)%size]
+		if sl.s == nil {
+			sl.s = u.enum.Strategy(u.index)
+			sl.r = &xrand.Rand{}
+		}
+		u.r.SplitInto(sl.r)
+		sl.s.Reset(sl.r)
+		u.inner = sl.s
+		u.sense.Reset()
+		return
+	}
 	u.inner = u.enum.Strategy(u.index)
 	u.inner.Reset(u.r.Split())
 	u.sense.Reset()

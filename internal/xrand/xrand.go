@@ -25,6 +25,14 @@ type Rand struct {
 // constructed from the same seed produce identical streams.
 func New(seed uint64) *Rand {
 	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed re-seeds r in place from the given 64-bit seed: afterwards r
+// produces exactly the stream New(seed) would. It exists so hot loops
+// can reuse one generator allocation across logical re-seedings.
+func (r *Rand) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm, r.s[i] = splitmix64(sm)
@@ -33,7 +41,6 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9E3779B97F4A7C15
 	}
-	return r
 }
 
 // splitmix64 advances the splitmix state and returns (newState, output).
@@ -63,8 +70,18 @@ func (r *Rand) Uint64() uint64 {
 // parent's (in the statistical, not cryptographic, sense). The parent
 // advances by two outputs; the child is seeded from them.
 func (r *Rand) Split() *Rand {
+	child := &Rand{}
+	r.SplitInto(child)
+	return child
+}
+
+// SplitInto re-seeds child from r exactly as Split would seed the
+// generator it returns: the parent advances by the same two outputs and
+// the child ends in the same state, so substituting SplitInto for Split
+// (reusing one child allocation) never changes any stream.
+func (r *Rand) SplitInto(child *Rand) {
 	a, b := r.Uint64(), r.Uint64()
-	return New(a ^ bits.RotateLeft64(b, 32))
+	child.Reseed(a ^ bits.RotateLeft64(b, 32))
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0, matching

@@ -1,0 +1,10 @@
+//go:build !race
+
+package repro
+
+// raceEnabled reports whether the race detector instruments this build.
+// The race runtime allocates on its own (shadow state, sync metadata),
+// inflating testing.AllocsPerRun far past the real budgets, so the
+// allocation pins skip when it is on — the non-race run carries the
+// regression signal.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation pins skip under it (see race_off_test.go).
+const raceEnabled = true
