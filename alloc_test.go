@@ -17,6 +17,7 @@ import (
 	"repro/internal/goals/printing"
 	"repro/internal/goals/transfer"
 	"repro/internal/goals/treasure"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/system"
 	"repro/internal/universal"
@@ -309,6 +310,56 @@ func TestUniversalUserSteadyAllocs(t *testing.T) {
 	// allocation (+1000) creeping back.
 	if allocs > 12 {
 		t.Errorf("universal user execution allocates %.1f times, budget 12", allocs)
+	}
+}
+
+// TestMetricsInstrumentationAllocFree pins the ISSUE 7 acceptance
+// number: the engine counters wired into RunBatch (trials, rounds,
+// batch claims) must add zero allocations per round. It proves the
+// instrumentation is actually on the measured path — the rounds counter
+// advances by exactly MaxRounds per execution — while the per-execution
+// allocation count stays at the same fixed floor the uninstrumented
+// engine had, so the metric cost per round is 0 allocs.
+func TestMetricsInstrumentationAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins are not meaningful under -race (the race runtime allocates)")
+	}
+	rounds := obs.Default().Counter("goalsweep_engine_rounds_total", "Total engine rounds executed across all trials.")
+	trials := obs.Default().Counter("goalsweep_engine_trials_finished_total", "Trials completed (with or without error).")
+	mk := func() []system.Trial {
+		return []system.Trial{{
+			User:   func() (comm.Strategy, error) { return &treasure.Candidate{Guess: 0}, nil },
+			Server: func() comm.Strategy { return server.Obstinate() },
+			World:  func() goal.World { return &treasure.World{} },
+			Config: system.Config{MaxRounds: 1000, Seed: 1, Record: system.RecordOff},
+		}}
+	}
+	run := func() {
+		res, err := system.RunBatch(mk(), system.BatchConfig{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			system.ReleaseResult(r)
+		}
+	}
+	run() // warm pools; also proves the counters are live below
+	rounds0, trials0 := rounds.Value(), trials.Value()
+	const runs = 10
+	allocs := testing.AllocsPerRun(runs, run)
+	t.Logf("instrumented batch: %.1f allocs per 1000-round execution", allocs)
+	// AllocsPerRun executes run() runs+1 times (one warm-up inside).
+	if dr := rounds.Value() - rounds0; dr != (runs+1)*1000 {
+		t.Fatalf("rounds counter advanced by %d, want %d — instrumentation fell off the measured path", dr, (runs+1)*1000)
+	}
+	if dt := trials.Value() - trials0; dt != runs+1 {
+		t.Fatalf("trials counter advanced by %d, want %d", dt, runs+1)
+	}
+	// Same ceiling as the uninstrumented engine round loop: the batch
+	// scaffolding (trial slice, result slot, scratch checkout) is fixed
+	// per execution; any per-round metric allocation would add +1000.
+	if allocs >= 100 {
+		t.Errorf("instrumented batch allocates %.1f times per 1000-round execution, ceiling is <100 — metrics must be alloc-free on the hot path", allocs)
 	}
 }
 

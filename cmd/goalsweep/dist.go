@@ -11,8 +11,19 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
+
+// eventLogger builds the CLI's structured event log: warnings and
+// errors always reach stderr; -v opens the firehose (debug and up).
+func eventLogger(stderr io.Writer, verbose bool) *obs.Logger {
+	min := obs.LevelWarn
+	if verbose {
+		min = obs.LevelDebug
+	}
+	return obs.NewLogger(stderr, min)
+}
 
 // runServe is the coordinator side of a distributed sweep: goalsweep
 // serve -spec F|-builtin N -shards n -listen addr [...] plans the sweep,
@@ -37,6 +48,9 @@ func runServe(args []string, stdout, stderr io.Writer) (retErr error) {
 		csvOut       = fs.Bool("csv", false, "emit the merged aggregates as CSV")
 		outPath      = fs.String("out", "", "write output to this file instead of stdout")
 		benchPath    = fs.String("bench", "", "also write a throughput artifact (JSON with timings and the worker count) to this file; skipped with a warning if workers served trials from a warm cache")
+		dashboard    = fs.Bool("dashboard", false, "serve a live HTML dashboard at / that polls /status and /metrics")
+		benchHistory = fs.String("bench-history", "", "bench-history.jsonl file to serve at /bench-history for the dashboard's trajectory charts (requires -dashboard)")
+		verbose      = fs.Bool("v", false, "log every lease/submit lifecycle event to stderr (default: warnings only)")
 		cpuProfile   = fs.String("cpuprofile", "", "refused: profile a local goalsweep run instead")
 		memProfile   = fs.String("memprofile", "", "refused: profile a local goalsweep run instead")
 		filters      filterFlags
@@ -67,7 +81,13 @@ func runServe(args []string, stdout, stderr io.Writer) (retErr error) {
 	if err != nil {
 		return err
 	}
-	coord, err := dist.NewCoordinator(plan, dist.CoordinatorConfig{LeaseTTL: *leaseTimeout, Log: stderr})
+	if *benchHistory != "" && !*dashboard {
+		return fmt.Errorf("-bench-history only makes sense with -dashboard")
+	}
+	coord, err := dist.NewCoordinator(plan, dist.CoordinatorConfig{
+		LeaseTTL: *leaseTimeout,
+		Events:   eventLogger(stderr, *verbose),
+	})
 	if err != nil {
 		return err
 	}
@@ -79,7 +99,7 @@ func runServe(args []string, stdout, stderr io.Writer) (retErr error) {
 	// it carries the resolved address when the port was 0.
 	fmt.Fprintf(stderr, "goalsweep: serving %d shards of spec %q (fingerprint %s) at http://%s\n",
 		plan.Shards, spec.Name, plan.Fingerprint, ln.Addr())
-	srv := &http.Server{Handler: coord}
+	srv := &http.Server{Handler: serveHandler(coord, *dashboard, *benchHistory)}
 	go srv.Serve(ln)
 	defer srv.Close()
 
@@ -112,10 +132,15 @@ func runServe(args []string, stdout, stderr io.Writer) (retErr error) {
 		} else {
 			// The distributed artifact's effective parallelism is the
 			// fleet's: the sum of the submitting workers' trial pools.
-			// Mallocs is 0: the sweep's allocations happened in the
-			// worker processes' heaps, which the coordinator cannot see.
+			// Mallocs is the fleet's summed heap-allocation delta, as
+			// reported by each shard's executing worker at submit time
+			// (0 only if some worker failed to report one).
 			submitters, totalParallel := coord.Submitters()
-			if err := writeBench(*benchPath, sum, elapsed, totalParallel, submitters, 0, nil); err != nil {
+			mallocs, mallocsKnown := coord.Mallocs()
+			if !mallocsKnown {
+				mallocs = 0
+			}
+			if err := writeBench(*benchPath, sum, elapsed, totalParallel, submitters, mallocs, nil); err != nil {
 				return err
 			}
 		}
@@ -148,6 +173,7 @@ func runWork(args []string, stdout, stderr io.Writer) error {
 		parallel    = fs.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
 		poll        = fs.Duration("poll", 500*time.Millisecond, "backoff between lease attempts while all shards are claimed elsewhere")
 		id          = fs.String("id", "", "worker name in coordinator accounting (default derived from the process ID)")
+		verbose     = fs.Bool("v", false, "log every lease/shard lifecycle event to stderr (default: warnings only)")
 		cpuProfile  = fs.String("cpuprofile", "", "refused: profile a local goalsweep run instead")
 		memProfile  = fs.String("memprofile", "", "refused: profile a local goalsweep run instead")
 	)
@@ -169,7 +195,7 @@ func runWork(args []string, stdout, stderr io.Writer) error {
 		Parallel:    *parallel,
 		Poll:        *poll,
 		ID:          *id,
-		Log:         stderr,
+		Events:      eventLogger(stderr, *verbose),
 	}
 	if *cacheDir != "" {
 		cache, err := scenario.OpenCache(*cacheDir)

@@ -45,6 +45,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -430,11 +431,18 @@ func runBenchcmp(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("goalsweep benchcmp", flag.ContinueOnError)
 	maxDrop := fs.Float64("maxdrop", 0.5, "fail when roundsPerSec drops by more than this fraction of the baseline")
 	maxAllocGrow := fs.Float64("maxallocgrow", 0.5, "fail when allocsPerRound grows by more than this fraction of the baseline (checked only when both artifacts carry allocation counts)")
+	history := fs.String("history", "", "validate a bench-history.jsonl trajectory (every record parses, commits unique) instead of comparing two artifacts")
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	files := fs.Args()
+	if *history != "" {
+		if len(files) != 0 {
+			return fmt.Errorf("benchcmp -history takes no artifact arguments")
+		}
+		return checkBenchHistory(*history, stdout)
+	}
 	if len(files) != 2 {
 		return fmt.Errorf("benchcmp needs exactly two artifacts: baseline.json fresh.json")
 	}
@@ -506,6 +514,72 @@ func runBenchcmp(args []string, stdout io.Writer) error {
 		return fmt.Errorf("allocation regression: allocsPerRound grew %.1f%%, exceeds -maxallocgrow %.0f%%",
 			100*allocChange, 100**maxAllocGrow)
 	}
+	return nil
+}
+
+// benchHistoryRecord is one line of CI's bench-history.jsonl: a bench
+// artifact stamped with its commit and workflow run.
+type benchHistoryRecord struct {
+	harness.SweepBench
+	Commit string `json:"commit"`
+	Ref    string `json:"ref"`
+	Run    string `json:"run"`
+}
+
+// checkBenchHistory is benchcmp's -history sanity mode: the trajectory
+// file the dashboard charts is append-only and machine-written, so the
+// invariants are structural — every line parses as a stamped bench
+// artifact and no commit appears twice (a duplicate would mean CI
+// double-appended and every chart would kink).
+func checkBenchHistory(path string, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	seen := make(map[string]int)
+	var first, last *benchHistoryRecord
+	n := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec benchHistoryRecord
+		dec := json.NewDecoder(strings.NewReader(text))
+		if err := dec.Decode(&rec); err != nil {
+			return fmt.Errorf("%s:%d: bad record: %v", path, line, err)
+		}
+		if rec.Commit == "" {
+			return fmt.Errorf("%s:%d: record has no commit stamp", path, line)
+		}
+		if rec.Spec == "" {
+			return fmt.Errorf("%s:%d: record has no spec", path, line)
+		}
+		if rec.RoundsPerSec <= 0 {
+			return fmt.Errorf("%s:%d: record has no roundsPerSec", path, line)
+		}
+		if prev, dup := seen[rec.Commit]; dup {
+			return fmt.Errorf("%s:%d: commit %s already recorded at line %d", path, line, rec.Commit, prev)
+		}
+		seen[rec.Commit] = line
+		r := rec
+		if first == nil {
+			first = &r
+		}
+		last = &r
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("%s: no bench history records", path)
+	}
+	fmt.Fprintf(stdout, "bench history OK: %d records, %d unique commits, spec %q, roundsPerSec %.0f -> %.0f\n",
+		n, len(seen), last.Spec, first.RoundsPerSec, last.RoundsPerSec)
 	return nil
 }
 

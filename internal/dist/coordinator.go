@@ -4,12 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -26,8 +27,9 @@ type CoordinatorConfig struct {
 	// time.Now.
 	Now func() time.Time
 
-	// Log, when non-nil, receives one line per lease and submit event.
-	Log io.Writer
+	// Events, when non-nil, receives one structured event per lease and
+	// submit transition (see internal/obs). Nil means silent.
+	Events *obs.Logger
 }
 
 // shardState is the coordinator's bookkeeping for one shard.
@@ -45,21 +47,23 @@ type Coordinator struct {
 	plan     Plan
 	leaseTTL time.Duration
 	now      func() time.Time
-	log      io.Writer
+	events   *obs.Logger
 	mux      *http.ServeMux
 
-	mu         sync.Mutex
-	shards     []shardState                  // index i-1 holds shard i/n
-	leases     map[string]leaseInfo          // lease ID -> holder
-	results    map[int]*scenario.ShardResult // 1-based shard index -> envelope
-	workers    map[string]int                // every worker that polled -> reported parallelism
-	submitters map[string]int                // workers whose envelopes were accepted -> parallelism
-	undrained  map[string]bool               // workers not yet told StatusDone
-	executed   int64                         // trials the fleet reported actually executing
-	execKnown  bool                          // every accepted submit carried an executed count
-	nextID     int
-	done       chan struct{}
-	drained    chan struct{}
+	mu           sync.Mutex
+	shards       []shardState                  // index i-1 holds shard i/n
+	leases       map[string]leaseInfo          // lease ID -> holder
+	results      map[int]*scenario.ShardResult // 1-based shard index -> envelope
+	workers      map[string]*workerInfo        // every worker that ever polled
+	submitters   map[string]int                // workers whose envelopes were accepted -> parallelism
+	undrained    map[string]bool               // workers not yet told StatusDone
+	executed     int64                         // trials the fleet reported actually executing
+	execKnown    bool                          // every accepted submit carried an executed count
+	mallocs      int64                         // worker heap allocations across all executed shards
+	mallocsKnown bool                          // every accepted submit carried a mallocs count
+	nextID       int
+	done         chan struct{}
+	drained      chan struct{}
 }
 
 // leaseInfo records who holds (or held) a lease on which shard.
@@ -67,6 +71,14 @@ type leaseInfo struct {
 	shard    int // 1-based
 	worker   string
 	parallel int
+	granted  time.Time // when the lease was issued, for shard latency
+}
+
+// workerInfo is the coordinator's live view of one worker.
+type workerInfo struct {
+	parallel  int
+	submitted int
+	lastSeen  time.Time
 }
 
 // NewCoordinator builds a coordinator for the plan.
@@ -75,19 +87,20 @@ func NewCoordinator(plan Plan, cfg CoordinatorConfig) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{
-		plan:       plan,
-		leaseTTL:   cfg.LeaseTTL,
-		now:        cfg.Now,
-		log:        cfg.Log,
-		shards:     make([]shardState, plan.Shards),
-		leases:     make(map[string]leaseInfo),
-		results:    make(map[int]*scenario.ShardResult),
-		workers:    make(map[string]int),
-		submitters: make(map[string]int),
-		undrained:  make(map[string]bool),
-		execKnown:  true,
-		done:       make(chan struct{}),
-		drained:    make(chan struct{}),
+		plan:         plan,
+		leaseTTL:     cfg.LeaseTTL,
+		now:          cfg.Now,
+		events:       cfg.Events,
+		shards:       make([]shardState, plan.Shards),
+		leases:       make(map[string]leaseInfo),
+		results:      make(map[int]*scenario.ShardResult),
+		workers:      make(map[string]*workerInfo),
+		submitters:   make(map[string]int),
+		undrained:    make(map[string]bool),
+		execKnown:    true,
+		mallocsKnown: true,
+		done:         make(chan struct{}),
+		drained:      make(chan struct{}),
 	}
 	if c.leaseTTL <= 0 {
 		c.leaseTTL = 2 * time.Minute
@@ -95,15 +108,22 @@ func NewCoordinator(plan Plan, cfg CoordinatorConfig) (*Coordinator, error) {
 	if c.now == nil {
 		c.now = time.Now
 	}
-	if c.log == nil {
-		c.log = io.Discard
-	}
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("POST /lease", c.handleLease)
 	c.mux.HandleFunc("POST /renew", c.handleRenew)
 	c.mux.HandleFunc("POST /submit", c.handleSubmit)
 	c.mux.HandleFunc("GET /status", c.handleStatus)
+	c.mux.HandleFunc("GET /metrics", handleMetrics)
 	return c, nil
+}
+
+// handleMetrics serves the process-wide metric registry in Prometheus
+// text exposition format. Every layer registers against the default
+// registry, so a scrape of the coordinator also surfaces engine, sweep
+// and cache activity from any in-process workers.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	obs.Default().WriteProm(w)
 }
 
 // Plan returns the plan the coordinator distributes.
@@ -114,8 +134,22 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	c.mux.ServeHTTP(w, r)
 }
 
-func (c *Coordinator) logf(format string, args ...any) {
-	fmt.Fprintf(c.log, "coordinator: "+format+"\n", args...)
+// sawWorkerLocked refreshes the coordinator's liveness view of one
+// worker. Called with c.mu held; worker may be "" (never recorded).
+func (c *Coordinator) sawWorkerLocked(worker string, parallel int) {
+	if worker == "" {
+		return
+	}
+	wi := c.workers[worker]
+	if wi == nil {
+		wi = &workerInfo{}
+		c.workers[worker] = wi
+	}
+	if parallel != 0 {
+		wi.parallel = parallel
+	}
+	wi.lastSeen = c.now()
+	mWorkerLastSeen.With(worker).Set(float64(wi.lastSeen.UnixMilli()) / 1000)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -148,9 +182,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) leaseLocked(req LeaseRequest) LeaseResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if req.Worker != "" {
-		c.workers[req.Worker] = req.Parallel
-	}
+	c.sawWorkerLocked(req.Worker, req.Parallel)
 	if len(c.results) == c.plan.Shards {
 		// This worker now knows the sweep is over and will exit; once
 		// every known worker has heard it the coordinator can tear down
@@ -169,13 +201,22 @@ func (c *Coordinator) leaseLocked(req LeaseRequest) LeaseResponse {
 			continue
 		}
 		if st.leaseID != "" {
-			c.logf("lease %s on shard %d/%d expired, re-issuing", st.leaseID, i+1, c.plan.Shards)
+			mLeasesExpired.Inc()
+			c.events.Event(obs.LevelWarn, "lease.expire",
+				obs.String("lease", st.leaseID),
+				obs.String("shard", scenario.Shard{Index: i + 1, Count: c.plan.Shards}.String()),
+				obs.String("worker", c.leases[st.leaseID].worker))
 		}
 		c.nextID++
 		st.leaseID = fmt.Sprintf("lease-%d", c.nextID)
 		st.expires = now.Add(c.leaseTTL)
-		c.leases[st.leaseID] = leaseInfo{shard: i + 1, worker: req.Worker, parallel: req.Parallel}
-		c.logf("shard %d/%d leased to %q as %s", i+1, c.plan.Shards, req.Worker, st.leaseID)
+		c.leases[st.leaseID] = leaseInfo{shard: i + 1, worker: req.Worker, parallel: req.Parallel, granted: now}
+		mLeasesGranted.Inc()
+		c.events.Event(obs.LevelInfo, "lease.grant",
+			obs.String("lease", st.leaseID),
+			obs.String("shard", scenario.Shard{Index: i + 1, Count: c.plan.Shards}.String()),
+			obs.String("worker", req.Worker),
+			obs.Int64("ttlMs", c.leaseTTL.Milliseconds()))
 		return LeaseResponse{
 			Protocol: ProtocolVersion,
 			Status:   StatusLease,
@@ -225,8 +266,13 @@ func (c *Coordinator) renewLocked(leaseID string) (RenewResponse, *httpErr) {
 	if st.done || st.leaseID != leaseID {
 		return RenewResponse{Renewed: false}, nil
 	}
+	c.sawWorkerLocked(li.worker, li.parallel)
 	st.expires = c.now().Add(c.leaseTTL)
-	c.logf("lease %s on shard %d/%d renewed", leaseID, li.shard, c.plan.Shards)
+	mLeasesRenewed.Inc()
+	c.events.Event(obs.LevelDebug, "lease.renew",
+		obs.String("lease", leaseID),
+		obs.String("shard", scenario.Shard{Index: li.shard, Count: c.plan.Shards}.String()),
+		obs.String("worker", li.worker))
 	return RenewResponse{Renewed: true, TTLMs: c.leaseTTL.Milliseconds()}, nil
 }
 
@@ -238,15 +284,18 @@ func (c *Coordinator) renewLocked(leaseID string) (RenewResponse, *httpErr) {
 func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	leaseID := r.URL.Query().Get("lease")
 	if leaseID == "" {
+		c.rejectSubmit("no_lease", "dist: submit without lease ID")
 		http.Error(w, "dist: submit without lease ID", http.StatusBadRequest)
 		return
 	}
 	sr, err := scenario.ReadShardResult(r.Body)
 	if err != nil {
+		c.rejectSubmit("decode", err.Error())
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
-	ack, herr := c.submitLocked(leaseID, sr, r.URL.Query().Get("executed"))
+	q := r.URL.Query()
+	ack, herr := c.submitLocked(leaseID, sr, q.Get("executed"), q.Get("mallocs"))
 	if herr != nil {
 		http.Error(w, herr.msg, herr.code)
 		return
@@ -254,13 +303,24 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, ack)
 }
 
-func (c *Coordinator) submitLocked(leaseID string, sr *scenario.ShardResult, executed string) (SubmitResponse, *httpErr) {
+// rejectSubmit records one refused envelope in the metrics and the event
+// log.
+func (c *Coordinator) rejectSubmit(reason, detail string) {
+	mSubmitsRejected.With(reason).Inc()
+	c.events.Event(obs.LevelWarn, "submit.reject",
+		obs.String("reason", reason),
+		obs.String("detail", detail))
+}
+
+func (c *Coordinator) submitLocked(leaseID string, sr *scenario.ShardResult, executed, mallocs string) (SubmitResponse, *httpErr) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	li, ok := c.leases[leaseID]
 	if !ok {
+		c.rejectSubmit("unknown_lease", leaseID)
 		return SubmitResponse{}, &httpErr{http.StatusNotFound, fmt.Sprintf("dist: unknown lease %q", leaseID)}
 	}
+	c.sawWorkerLocked(li.worker, li.parallel)
 	idx := li.shard
 	// Validate the envelope against the plan before it can reach
 	// MergeShards: the fingerprint proves the worker ran the same sweep
@@ -268,11 +328,13 @@ func (c *Coordinator) submitLocked(leaseID string, sr *scenario.ShardResult, exe
 	// sample selection), and the shard coordinates must be the leased
 	// ones.
 	if sr.Fingerprint != c.plan.Fingerprint {
+		c.rejectSubmit("fingerprint", sr.Fingerprint)
 		return SubmitResponse{}, &httpErr{http.StatusConflict,
 			fmt.Sprintf("dist: envelope fingerprint %s does not match plan %s — worker ran a different sweep",
 				sr.Fingerprint, c.plan.Fingerprint)}
 	}
 	if sr.Shard.Index != idx || sr.Shard.Count != c.plan.Shards {
+		c.rejectSubmit("shard", sr.Shard.String())
 		return SubmitResponse{}, &httpErr{http.StatusConflict,
 			fmt.Sprintf("dist: envelope covers shard %s but lease %s names shard %d/%d",
 				sr.Shard, leaseID, idx, c.plan.Shards)}
@@ -281,25 +343,53 @@ func (c *Coordinator) submitLocked(leaseID string, sr *scenario.ShardResult, exe
 		// A straggler finished after its shard was re-leased and
 		// resubmitted; its bytes are identical by determinism, so just
 		// acknowledge.
-		c.logf("shard %d/%d resubmitted under %s; already complete", idx, c.plan.Shards, leaseID)
+		mSubmitsDuplicate.Inc()
+		c.events.Event(obs.LevelInfo, "submit.duplicate",
+			obs.String("lease", leaseID),
+			obs.String("shard", sr.Shard.String()),
+			obs.String("worker", li.worker))
 		return SubmitResponse{Accepted: true, Done: len(c.results) == c.plan.Shards}, nil
 	}
 	c.results[idx] = sr
 	c.shards[idx-1].done = true
 	c.submitters[li.worker] = li.parallel
+	if wi := c.workers[li.worker]; wi != nil {
+		wi.submitted++
+	}
 	// Workers report how many trials they actually executed (as opposed
 	// to served from a shared cache) alongside the envelope; the sum
 	// decides whether a throughput artifact for this sweep would be
 	// honest. Exactly one submission per shard is counted, so a
-	// re-executed straggler shard cannot double-count.
+	// re-executed straggler shard cannot double-count. The worker's
+	// heap-allocation delta rides the same way and aggregates under the
+	// same discipline.
 	if n, err := strconv.ParseInt(executed, 10, 64); err != nil {
 		c.execKnown = false
 	} else {
 		c.executed += n
 	}
+	if n, err := strconv.ParseInt(mallocs, 10, 64); err != nil {
+		c.mallocsKnown = false
+	} else {
+		c.mallocs += n
+	}
+	mSubmitsAccepted.Inc()
+	if !li.granted.IsZero() {
+		mShardSeconds.Observe(c.now().Sub(li.granted).Seconds())
+	}
 	complete := len(c.results) == c.plan.Shards
-	c.logf("shard %d/%d submitted under %s (%d/%d complete)", idx, c.plan.Shards, leaseID, len(c.results), c.plan.Shards)
+	c.events.Event(obs.LevelInfo, "submit.accept",
+		obs.String("lease", leaseID),
+		obs.String("shard", sr.Shard.String()),
+		obs.String("worker", li.worker),
+		obs.Int("done", len(c.results)),
+		obs.Int("shards", c.plan.Shards))
 	if complete {
+		c.events.Event(obs.LevelInfo, "sweep.complete",
+			obs.String("spec", c.plan.Spec.Name),
+			obs.String("fingerprint", c.plan.Fingerprint),
+			obs.Int("shards", c.plan.Shards),
+			obs.Int64("executed", c.executed))
 		close(c.done)
 		c.checkDrainedLocked()
 	}
@@ -323,16 +413,42 @@ func (c *Coordinator) statusLocked() StatusResponse {
 		Complete:    len(c.results) == c.plan.Shards,
 	}
 	now := c.now()
+	st.ShardStates = make([]ShardStatus, len(c.shards))
 	for i := range c.shards {
+		ss := ShardStatus{
+			Shard: scenario.Shard{Index: i + 1, Count: c.plan.Shards}.String(),
+			Lease: c.shards[i].leaseID,
+		}
+		if li, ok := c.leases[c.shards[i].leaseID]; ok {
+			ss.Worker = li.worker
+		}
 		switch {
 		case c.shards[i].done:
 			st.Done++
+			ss.State = "done"
 		case c.shards[i].leaseID != "" && now.Before(c.shards[i].expires):
 			st.Leased++
+			ss.State = "leased"
 		default:
 			st.Pending++
+			ss.State = "pending"
+			ss.Worker = ""
 		}
+		st.ShardStates[i] = ss
 	}
+	if c.plan.Shards > 0 {
+		st.Progress = float64(st.Done) / float64(c.plan.Shards)
+	}
+	st.WorkerStates = make([]WorkerStatus, 0, len(c.workers))
+	for id, wi := range c.workers {
+		st.WorkerStates = append(st.WorkerStates, WorkerStatus{
+			ID:         id,
+			Parallel:   wi.parallel,
+			Submitted:  wi.submitted,
+			LastSeenMs: now.Sub(wi.lastSeen).Milliseconds(),
+		})
+	}
+	sort.Slice(st.WorkerStates, func(i, j int) bool { return st.WorkerStates[i].ID < st.WorkerStates[j].ID })
 	return st
 }
 
@@ -425,4 +541,14 @@ func (c *Coordinator) ExecutedTrials() (total int64, known bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.executed, c.execKnown
+}
+
+// Mallocs returns the fleet's total heap-allocation delta (summed over
+// each shard's executing worker, one submission per shard) and whether
+// every accepted submission reported one. Fleet bench artifacts use it
+// so distributed runs carry real allocation counts instead of zeros.
+func (c *Coordinator) Mallocs() (total int64, known bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mallocs, c.mallocsKnown
 }

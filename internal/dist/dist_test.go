@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -404,7 +405,7 @@ func TestSharedCacheAcrossWorkers(t *testing.T) {
 		}
 		var log bytes.Buffer
 		w := &Worker{Coordinator: "http://coordinator", Client: LoopbackClient(coord), Cache: cache,
-			Poll: time.Millisecond, Log: &log}
+			Poll: time.Millisecond, Events: obs.NewLogger(&log, obs.LevelDebug)}
 		if _, err := w.Run(context.Background()); err != nil {
 			t.Fatal(err)
 		}
@@ -417,11 +418,12 @@ func TestSharedCacheAcrossWorkers(t *testing.T) {
 	}
 	// The quick spec is 12 scenarios over 2 shards: the cold run executes
 	// 6 trials per shard, the warm run serves every scenario from the
-	// shared store and executes none.
-	if strings.Count(coldLog, "6 trials executed") != 2 {
+	// shared store and executes none. The worker's shard.done events
+	// carry that accounting.
+	if strings.Count(coldLog, "event=shard.done") != 2 || strings.Count(coldLog, "executed=6") != 2 {
 		t.Fatalf("cold run accounting wrong:\n%s", coldLog)
 	}
-	if strings.Count(warmLog, "0 trials executed") != 2 {
+	if strings.Count(warmLog, "executed=0") != 2 {
 		t.Fatalf("warm run did not serve from the shared cache:\n%s", warmLog)
 	}
 	// The coordinator's fleet accounting sees the same split, which is

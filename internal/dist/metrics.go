@@ -1,0 +1,37 @@
+package dist
+
+import "repro/internal/obs"
+
+// Coordinator- and worker-layer metrics. Everything here is per-request
+// or per-shard, far off any hot path; the interesting properties are
+// the label sets (submit rejections carry a reason, liveness is
+// per-worker) and that one process can host both sides (loopback tests,
+// `goalsweep serve` with in-process workers) against the shared default
+// registry.
+var (
+	mLeasesGranted = obs.Default().Counter("goalsweep_coord_leases_granted_total",
+		"Shard leases issued to workers (including re-issues).")
+	mLeasesRenewed = obs.Default().Counter("goalsweep_coord_leases_renewed_total",
+		"Lease renewals honored.")
+	mLeasesExpired = obs.Default().Counter("goalsweep_coord_leases_expired_total",
+		"Leases that expired and were re-issued to another worker.")
+	mSubmitsAccepted = obs.Default().Counter("goalsweep_coord_submits_accepted_total",
+		"Shard envelopes accepted and stored.")
+	mSubmitsDuplicate = obs.Default().Counter("goalsweep_coord_submits_duplicate_total",
+		"Straggler envelopes for already-complete shards, acknowledged idempotently.")
+	mSubmitsRejected = obs.Default().CounterVec("goalsweep_coord_submits_rejected_total",
+		"Shard envelopes refused, by reason.", "reason")
+	mShardSeconds = obs.Default().Histogram("goalsweep_coord_shard_seconds",
+		"Lease-grant to accepted-submit latency per shard.", nil)
+	mWorkerLastSeen = obs.Default().GaugeVec("goalsweep_coord_worker_last_seen_timestamp_seconds",
+		"Unix time the coordinator last heard from each worker.", "worker")
+
+	mPollWaits = obs.Default().Counter("goalsweep_worker_poll_waits_total",
+		"Lease polls answered wait (all shards claimed elsewhere).")
+	mTransportRetries = obs.Default().Counter("goalsweep_worker_transport_retries_total",
+		"Lease/submit transport attempts that failed and were retried.")
+	mWorkerShards = obs.Default().Counter("goalsweep_worker_shards_completed_total",
+		"Shards this process's workers executed and submitted.")
+	mComputeSeconds = obs.Default().Histogram("goalsweep_worker_compute_seconds",
+		"Local sweep wall-clock per executed shard.", nil)
+)

@@ -133,7 +133,10 @@ type SubmitResponse struct {
 	Done bool `json:"done"`
 }
 
-// StatusResponse is the coordinator's progress accounting.
+// StatusResponse is the coordinator's progress accounting. Beyond the
+// aggregate counts it carries one entry per shard and per worker, so a
+// dashboard (or a curl) can watch the fleet converge without scraping
+// /metrics.
 type StatusResponse struct {
 	Protocol    int    `json:"protocol"`
 	Spec        string `json:"spec"`
@@ -144,4 +147,32 @@ type StatusResponse struct {
 	Pending     int    `json:"pending"`
 	Workers     int    `json:"workers"`
 	Complete    bool   `json:"complete"`
+
+	// Progress is Done/Shards in [0,1].
+	Progress float64 `json:"progress"`
+	// ShardStates holds one entry per shard, in shard-index order.
+	ShardStates []ShardStatus `json:"shardStates,omitempty"`
+	// WorkerStates holds one entry per known worker, sorted by ID.
+	WorkerStates []WorkerStatus `json:"workerStates,omitempty"`
+}
+
+// ShardStatus is one shard's live state.
+type ShardStatus struct {
+	Shard string `json:"shard"` // "i/n"
+	State string `json:"state"` // "pending", "leased" or "done"
+	// Lease is the shard's current (or, when done, final) lease ID.
+	Lease string `json:"lease,omitempty"`
+	// Worker holds the lease's worker ID.
+	Worker string `json:"worker,omitempty"`
+}
+
+// WorkerStatus is one worker's live state as the coordinator sees it.
+type WorkerStatus struct {
+	ID       string `json:"id"`
+	Parallel int    `json:"parallel,omitempty"`
+	// Submitted counts envelopes accepted from this worker.
+	Submitted int `json:"submitted"`
+	// LastSeenMs is how long ago (milliseconds) the coordinator last
+	// heard from this worker.
+	LastSeenMs int64 `json:"lastSeenMs"`
 }

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -59,8 +60,10 @@ type Worker struct {
 	// 0 means 20.
 	Retries int
 
-	// Log, when non-nil, receives one line per shard executed.
-	Log io.Writer
+	// Events, when non-nil, receives one structured event per shard
+	// lifecycle transition and transport retry (see internal/obs). Nil
+	// means silent.
+	Events *obs.Logger
 }
 
 func (w *Worker) client() *http.Client {
@@ -75,12 +78,6 @@ func (w *Worker) registry() *scenario.Registry {
 		return w.Registry
 	}
 	return scenario.Builtin()
-}
-
-func (w *Worker) logf(format string, args ...any) {
-	if w.Log != nil {
-		fmt.Fprintf(w.Log, "worker %s: "+format+"\n", append([]any{w.id()}, args...)...)
-	}
 }
 
 func (w *Worker) id() string {
@@ -119,10 +116,15 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 				return completed, ctxErr
 			}
 			failures++
+			mTransportRetries.Inc()
 			if failures > retries {
 				return completed, fmt.Errorf("dist: lease failed %d times, giving up: %w", failures, err)
 			}
-			w.logf("lease attempt failed (%d/%d): %v", failures, retries, err)
+			w.Events.Event(obs.LevelWarn, "lease.retry",
+				obs.String("worker", w.id()),
+				obs.Int("attempt", failures),
+				obs.Int("max", retries),
+				obs.String("err", err.Error()))
 			if err := sleep(ctx, poll); err != nil {
 				return completed, err
 			}
@@ -133,6 +135,10 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 		case StatusDone:
 			return completed, nil
 		case StatusWait:
+			mPollWaits.Inc()
+			w.Events.Event(obs.LevelDebug, "lease.wait",
+				obs.String("worker", w.id()),
+				obs.Dur("poll", poll))
 			if err := sleep(ctx, poll); err != nil {
 				return completed, err
 			}
@@ -147,6 +153,7 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 				return completed, err
 			}
 			completed++
+			mWorkerShards.Inc()
 		default:
 			return completed, fmt.Errorf("dist: coordinator answered unknown lease status %q", lease.Status)
 		}
@@ -194,12 +201,18 @@ func (w *Worker) startRenewer(ctx context.Context, lease *LeaseResponse) (stop f
 			case <-t.C:
 				renewed, err := w.renew(ctx, lease.LeaseID)
 				if err != nil {
-					w.logf("lease %s renewal failed (continuing shard %s): %v", lease.LeaseID, lease.Shard, err)
+					w.Events.Event(obs.LevelWarn, "renew.fail",
+						obs.String("worker", w.id()),
+						obs.String("lease", lease.LeaseID),
+						obs.String("shard", lease.Shard.String()),
+						obs.String("err", err.Error()))
 					return
 				}
 				if !renewed {
-					w.logf("lease %s no longer current (continuing shard %s; submit will be idempotent)",
-						lease.LeaseID, lease.Shard)
+					w.Events.Event(obs.LevelWarn, "renew.stale",
+						obs.String("worker", w.id()),
+						obs.String("lease", lease.LeaseID),
+						obs.String("shard", lease.Shard.String()))
 					return
 				}
 			}
@@ -311,13 +324,30 @@ func (w *Worker) runShard(lease *LeaseResponse) (*scenario.ShardResult, error) {
 			return nil
 		},
 	}
+	// Bracket the sweep with MemStats reads so the envelope can report
+	// this shard's real heap-allocation delta for fleet bench artifacts.
+	// The counter is process-wide, which is exact for the one-worker-
+	// per-process `goalsweep work` deployment; in-process fleets (tests)
+	// get an aggregate that overlapping shards share.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	startMallocs := ms.Mallocs
 	start := time.Now()
 	sum, err := m.Sweep(indices, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("dist: shard %s: %w", lease.Shard, err)
 	}
-	w.logf("shard %s: %d scenarios, %d trials executed, %d cache hits in %v",
-		lease.Shard, sum.Scenarios, sum.ExecutedTrials, sum.CacheHits, time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms)
+	mComputeSeconds.Observe(elapsed.Seconds())
+	w.Events.Event(obs.LevelInfo, "shard.done",
+		obs.String("worker", w.id()),
+		obs.String("lease", lease.LeaseID),
+		obs.String("shard", lease.Shard.String()),
+		obs.Int("scenarios", sum.Scenarios),
+		obs.Int("executed", sum.ExecutedTrials),
+		obs.Int("cacheHits", sum.CacheHits),
+		obs.Dur("elapsed", elapsed))
 	return &scenario.ShardResult{
 		Version:     scenario.ShardFormatVersion,
 		Fingerprint: plan.Fingerprint,
@@ -325,6 +355,7 @@ func (w *Worker) runShard(lease *LeaseResponse) (*scenario.ShardResult, error) {
 		Shard:       lease.Shard,
 		Scenarios:   stats,
 		Summary:     sum,
+		Mallocs:     int64(ms.Mallocs - startMallocs),
 	}, nil
 }
 
@@ -332,9 +363,10 @@ func (w *Worker) runShard(lease *LeaseResponse) (*scenario.ShardResult, error) {
 // failures; protocol-level rejections (4xx/5xx) are fatal. The executed
 // query parameter reports how many trials this shard actually ran (a
 // shared warm cache can make it less than the shard's trial total —
-// that accounting is json:"-" in the envelope, so it travels here); the
-// coordinator sums it to decide whether a throughput artifact would be
-// honest.
+// that accounting is json:"-" in the envelope, so it travels here), and
+// mallocs carries the worker's heap-allocation delta the same way; the
+// coordinator sums both to decide whether a throughput artifact would
+// be honest and what allocation count it should carry.
 func (w *Worker) submit(ctx context.Context, leaseID string, sr *scenario.ShardResult, retries int, poll time.Duration) error {
 	var buf bytes.Buffer
 	if err := sr.Write(&buf); err != nil {
@@ -342,7 +374,8 @@ func (w *Worker) submit(ctx context.Context, leaseID string, sr *scenario.ShardR
 	}
 	for attempt := 1; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			fmt.Sprintf("%s/submit?lease=%s&executed=%d", w.Coordinator, leaseID, sr.Summary.ExecutedTrials),
+			fmt.Sprintf("%s/submit?lease=%s&executed=%d&mallocs=%d",
+				w.Coordinator, leaseID, sr.Summary.ExecutedTrials, sr.Mallocs),
 			bytes.NewReader(buf.Bytes()))
 		if err != nil {
 			return err
@@ -353,10 +386,16 @@ func (w *Worker) submit(ctx context.Context, leaseID string, sr *scenario.ShardR
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return ctxErr
 			}
+			mTransportRetries.Inc()
 			if attempt > retries {
 				return fmt.Errorf("dist: submit failed %d times, giving up: %w", attempt, err)
 			}
-			w.logf("submit attempt failed (%d/%d): %v", attempt, retries, err)
+			w.Events.Event(obs.LevelWarn, "submit.retry",
+				obs.String("worker", w.id()),
+				obs.String("lease", leaseID),
+				obs.Int("attempt", attempt),
+				obs.Int("max", retries),
+				obs.String("err", err.Error()))
 			if err := sleep(ctx, poll); err != nil {
 				return err
 			}

@@ -43,9 +43,11 @@ type SweepBench struct {
 	// sweep and AllocsPerRound normalizes it by TotalRounds — the
 	// host-independent half of the artifact, so allocation regressions
 	// are visible even across machines whose timings are incomparable.
-	// Absent (0) in artifacts written before allocation accounting, and
-	// in distributed artifacts (the coordinator cannot see worker
-	// heaps).
+	// Absent (0) in artifacts written before allocation accounting.
+	// Distributed artifacts sum the per-shard counts each worker
+	// measures around its own sweep and reports at submit time; the sum
+	// is exact for the one-worker-per-process deployment and an
+	// aggregate when workers share a heap.
 	Mallocs        int64   `json:"mallocs,omitempty"`
 	AllocsPerRound float64 `json:"allocsPerRound,omitempty"`
 

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// PromContentType is the Content-Type for the Prometheus text exposition
+// format produced by WriteProm.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm writes every registered family in the Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE header per
+// family, then one sample line per value, families sorted by name and
+// children sorted by label value. Values are snapshot-on-read, so a
+// scrape observes each metric at one instant without blocking writers.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	buf := make([]byte, 0, 4096)
+	for _, f := range fams {
+		buf = buf[:0]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = appendEscapedHelp(buf, f.help)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.kind.String()...)
+		buf = append(buf, '\n')
+
+		if f.label == "" {
+			f.mu.Lock()
+			m := f.metric
+			f.mu.Unlock()
+			buf = appendSample(buf, f.name, "", "", m)
+		} else {
+			f.mu.Lock()
+			values := make([]string, 0, len(f.children))
+			for v := range f.children {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			children := make([]any, len(values))
+			for i, v := range values {
+				children[i] = f.children[v]
+			}
+			f.mu.Unlock()
+			for i, v := range values {
+				buf = appendSample(buf, f.name, f.label, v, children[i])
+			}
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendSample appends the sample line(s) for one metric instance.
+// label/value are empty for unlabeled families; m may be nil when a
+// family was registered but its metric never touched.
+func appendSample(buf []byte, name, label, value string, m any) []byte {
+	switch m := m.(type) {
+	case nil:
+		buf = append(buf, name...)
+		buf = appendLabels(buf, label, value, "")
+		buf = append(buf, " 0\n"...)
+	case *Counter:
+		buf = append(buf, name...)
+		buf = appendLabels(buf, label, value, "")
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, m.Value(), 10)
+		buf = append(buf, '\n')
+	case *Gauge:
+		buf = append(buf, name...)
+		buf = appendLabels(buf, label, value, "")
+		buf = append(buf, ' ')
+		buf = appendFloat(buf, m.Value())
+		buf = append(buf, '\n')
+	case *Histogram:
+		s := m.Snapshot()
+		cum := int64(0)
+		for i, c := range s.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(s.Bounds) {
+				le = strconv.FormatFloat(s.Bounds[i], 'g', -1, 64)
+			}
+			buf = append(buf, name...)
+			buf = append(buf, "_bucket"...)
+			buf = appendLabels(buf, label, value, le)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, cum, 10)
+			buf = append(buf, '\n')
+		}
+		buf = append(buf, name...)
+		buf = append(buf, "_sum"...)
+		buf = appendLabels(buf, label, value, "")
+		buf = append(buf, ' ')
+		buf = appendFloat(buf, s.Sum)
+		buf = append(buf, '\n')
+		buf = append(buf, name...)
+		buf = append(buf, "_count"...)
+		buf = appendLabels(buf, label, value, "")
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, s.Count, 10)
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+// appendLabels appends `{label="value"}`, `{le="..."}` or the merged
+// form `{label="value",le="..."}`; nothing when both are absent.
+func appendLabels(buf []byte, label, value, le string) []byte {
+	if label == "" && le == "" {
+		return buf
+	}
+	buf = append(buf, '{')
+	if label != "" {
+		buf = append(buf, label...)
+		buf = append(buf, `="`...)
+		buf = appendEscapedLabel(buf, value)
+		buf = append(buf, '"')
+		if le != "" {
+			buf = append(buf, ',')
+		}
+	}
+	if le != "" {
+		buf = append(buf, `le="`...)
+		buf = append(buf, le...)
+		buf = append(buf, '"')
+	}
+	return append(buf, '}')
+}
+
+// appendEscapedLabel escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func appendEscapedLabel(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			buf = append(buf, `\\`...)
+		case '"':
+			buf = append(buf, `\"`...)
+		case '\n':
+			buf = append(buf, `\n`...)
+		default:
+			buf = append(buf, s[i])
+		}
+	}
+	return buf
+}
+
+// appendEscapedHelp escapes HELP text: backslash and newline only.
+func appendEscapedHelp(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			buf = append(buf, `\\`...)
+		case '\n':
+			buf = append(buf, `\n`...)
+		default:
+			buf = append(buf, s[i])
+		}
+	}
+	return buf
+}
+
+// appendFloat renders a float64 the way Prometheus expects: shortest
+// round-trip decimal, with NaN/Inf spelled out.
+func appendFloat(buf []byte, v float64) []byte {
+	switch {
+	case math.IsNaN(v):
+		return append(buf, "NaN"...)
+	case math.IsInf(v, 1):
+		return append(buf, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(buf, "-Inf"...)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}

@@ -88,12 +88,15 @@ func (c *Cache) Get(k Key) (*Stats, bool) {
 	}
 	var e cacheEntry
 	if err := json.Unmarshal(data, &e); err != nil {
+		mCacheHeals.Inc()
 		return nil, false
 	}
 	if e.Version != cacheVersion || e.Key != k.String() {
+		mCacheHeals.Inc()
 		return nil, false
 	}
 	if e.Stats == nil || e.Stats.ID != k.ScenarioID {
+		mCacheHeals.Inc()
 		return nil, false
 	}
 	return e.Stats, true

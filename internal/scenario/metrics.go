@@ -1,0 +1,22 @@
+package scenario
+
+import "repro/internal/obs"
+
+// Sweep- and cache-layer metrics. All call sites are per-chunk or
+// per-scenario (never per-round or per-trial inner loops), so the
+// mutex-guarded vec lookup and the time.Now pair around a chunk flush
+// are noise against hundreds of engine rounds.
+var (
+	mScenarios = obs.Default().CounterVec("goalsweep_sweep_scenarios_total",
+		"Scenarios completed by the sweep executor, by goal family.", "goal")
+	mChunkSeconds = obs.Default().Histogram("goalsweep_sweep_chunk_seconds",
+		"Wall-clock latency of one chunk flush through the batch engine.", nil)
+	mChunkTrials = obs.Default().Histogram("goalsweep_sweep_chunk_trials",
+		"Trials per flushed chunk.", obs.SizeBuckets)
+	mCacheHits = obs.Default().Counter("goalsweep_cache_hits_total",
+		"Scenario aggregates served from the result cache.")
+	mCacheMisses = obs.Default().Counter("goalsweep_cache_misses_total",
+		"Scenario aggregates not found in the result cache.")
+	mCacheHeals = obs.Default().Counter("goalsweep_cache_heals_total",
+		"Cache entries that were present but failed validation and were recomputed.")
+)

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"strconv"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/goal"
@@ -376,10 +377,13 @@ func (m *Matrix) Sweep(indices []int64, cfg SweepConfig) (*Summary, error) {
 		}
 		var errs []error
 		if len(trials) > 0 {
+			start := time.Now()
 			results, errList := system.RunEach(trials, system.BatchConfig{
 				Parallelism: cfg.Parallel,
 				TrialBatch:  cfg.TrialBatch,
 			})
+			mChunkSeconds.Observe(time.Since(start).Seconds())
+			mChunkTrials.Observe(float64(len(trials)))
 			for _, res := range results {
 				system.ReleaseResult(res)
 			}
@@ -402,6 +406,11 @@ func (m *Matrix) Sweep(indices []int64, cfg SweepConfig) (*Summary, error) {
 					}
 				}
 			}
+			goalName, ok := st.Axis("goal")
+			if !ok || goalName == "" {
+				goalName = "none"
+			}
+			mScenarios.With(goalName).Inc()
 			sum.Scenarios++
 			sum.Trials += st.Trials
 			sum.Errors += st.Errors
@@ -424,6 +433,7 @@ func (m *Matrix) Sweep(indices []int64, cfg SweepConfig) (*Summary, error) {
 			key := Key{ScenarioID: sc.ID(), Registry: reg.Version(), BaseSeed: base, Seeds: seeds, Window: window}
 			if st, ok := cache.Get(key); ok {
 				sum.CacheHits++
+				mCacheHits.Inc()
 				jobs = append(jobs, &scenJob{sc: sc, cached: st})
 				if len(jobs) >= chunkTrials {
 					return flush()
@@ -431,6 +441,7 @@ func (m *Matrix) Sweep(indices []int64, cfg SweepConfig) (*Summary, error) {
 				return nil
 			}
 			sum.CacheMisses++
+			mCacheMisses.Inc()
 		}
 		bind, err := reg.Bind(sc)
 		if err != nil {

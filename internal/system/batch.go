@@ -118,6 +118,7 @@ func runPool(trials []Trial, cfg BatchConfig, failFast bool) ([]*Result, []error
 		// batch: states repeated across a chunk's trials intern to the
 		// same shared strings.
 		scr := scratchPool.Get().(*snapScratch)
+		mBatchClaims.Inc()
 		for i := range trials {
 			results[i], errs[i] = runTrial(&trials[i], i, cfg, scr)
 			if errs[i] != nil && failFast {
@@ -154,6 +155,7 @@ func runPool(trials []Trial, cfg BatchConfig, failFast bool) ([]*Result, []error
 				if base >= int64(n) {
 					return
 				}
+				mBatchClaims.Inc()
 				end := base + batch
 				if end > int64(n) {
 					end = int64(n)
@@ -184,16 +186,28 @@ func runPool(trials []Trial, cfg BatchConfig, failFast bool) ([]*Result, []error
 // runTrial constructs one trial's parties and executes it with the
 // worker's reusable snapshot scratch.
 func runTrial(t *Trial, i int, bcfg BatchConfig, scr *snapScratch) (*Result, error) {
+	mTrialsStarted.Inc()
 	if t.User == nil || t.Server == nil || t.World == nil {
+		mTrialsFinished.Inc()
+		mTrialErrors.Inc()
 		return nil, errors.New("system: trial needs User, Server and World factories")
 	}
 	user, err := t.User()
 	if err != nil {
+		mTrialsFinished.Inc()
+		mTrialErrors.Inc()
 		return nil, err
 	}
 	cfg := t.Config
 	if bcfg.Seed != 0 {
 		cfg.Seed = DeriveSeed(bcfg.Seed, i)
 	}
-	return run(user, t.Server(), t.World(), cfg, scr)
+	res, err := run(user, t.Server(), t.World(), cfg, scr)
+	mTrialsFinished.Inc()
+	if err != nil {
+		mTrialErrors.Inc()
+	} else if res != nil {
+		mRounds.Add(int64(res.Rounds))
+	}
+	return res, err
 }
