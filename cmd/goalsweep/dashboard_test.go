@@ -87,9 +87,12 @@ func TestServeDashboardEndpoints(t *testing.T) {
 		t.Fatalf("/bench-history served %q", body)
 	}
 
-	// The protocol endpoints still work underneath the dashboard mux.
+	// The protocol endpoints still work underneath the dashboard mux,
+	// and /status carries the multi-job array alongside the legacy flat
+	// mirror fields.
 	status, _, body = getBody(t, url+"/status")
-	if status != http.StatusOK || !strings.Contains(body, `"shards":2`) {
+	if status != http.StatusOK || !strings.Contains(body, `"shards":2`) ||
+		!strings.Contains(body, `"jobs":[`) {
 		t.Fatalf("GET /status through dashboard mux = %d %q", status, body)
 	}
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -14,6 +15,20 @@ import (
 	"repro/internal/obs"
 	"repro/internal/scenario"
 )
+
+// parseShards resolves a -shards value: "auto" means the coordinator
+// sizes the partition itself (from fleet size and observed shard
+// latency), anything else must be a positive count.
+func parseShards(s string) (int, error) {
+	if s == "auto" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("-shards must be a positive count or \"auto\", got %q", s)
+	}
+	return n, nil
+}
 
 // eventLogger builds the CLI's structured event log: warnings and
 // errors always reach stderr; -v opens the firehose (debug and up).
@@ -25,17 +40,23 @@ func eventLogger(stderr io.Writer, verbose bool) *obs.Logger {
 	return obs.NewLogger(stderr, min)
 }
 
-// runServe is the coordinator side of a distributed sweep: goalsweep
-// serve -spec F|-builtin N -shards n -listen addr [...] plans the sweep,
-// leases shards to workers over HTTP until every envelope has been
-// submitted, then merges them and writes the ordinary report — output
-// byte-identical to an unsharded local run of the same sweep.
-func runServe(args []string, stdout, stderr io.Writer) (retErr error) {
+// runServe is the coordinator side of a distributed sweep. In batch
+// mode — goalsweep serve -spec F|-builtin N -shards n -listen addr —
+// it plans one sweep, leases shards to workers over HTTP until every
+// envelope has been submitted, then merges them and writes the ordinary
+// report, byte-identical to an unsharded local run of the same sweep.
+// With -service it is a long-lived multi-tenant job queue instead: jobs
+// arrive over POST /v1/sweeps (goalsweep submit), reports leave over
+// the SSE event stream (goalsweep watch), and the process runs until
+// interrupted; -state DIR makes the queue survive restarts.
+func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("goalsweep serve", flag.ContinueOnError)
 	var (
 		specPath     = fs.String("spec", "", "JSON scenario spec file")
 		builtin      = fs.String("builtin", "", "built-in spec name (default, quick); ignored when -spec is set")
-		shards       = fs.Int("shards", 2, "how many work units to partition the selection into")
+		shardsFlag   = fs.String("shards", "2", "how many work units to partition the selection into (a count; \"auto\" is only meaningful per job, via goalsweep submit)")
+		service      = fs.Bool("service", false, "run a long-lived multi-tenant job queue instead of a one-shot batch sweep; jobs arrive via goalsweep submit, so spec and report flags are refused")
+		stateDir     = fs.String("state", "", "persist job plans and shard envelopes under this directory and resume incomplete jobs on restart")
 		listen       = fs.String("listen", "127.0.0.1:0", "coordinator listen address (host:port; port 0 picks one)")
 		leaseTimeout = fs.Duration("lease-timeout", 2*time.Minute, "re-issue a shard when its worker has neither submitted nor renewed within this long (workers renew at a third of it while computing)")
 		linger       = fs.Duration("linger", 2*time.Second, "after the last shard lands, keep serving this long so polling workers hear the sweep is done")
@@ -69,6 +90,51 @@ func runServe(args []string, stdout, stderr io.Writer) (retErr error) {
 	if *jsonOut && *csvOut {
 		return fmt.Errorf("-json and -csv are mutually exclusive")
 	}
+	if *benchHistory != "" && !*dashboard {
+		return fmt.Errorf("-bench-history only makes sense with -dashboard")
+	}
+
+	if *service {
+		// A service has no spec of its own (jobs arrive over the API) and
+		// writes no report (watch renders them per job), so every flag
+		// that shapes either is a mistake worth refusing loudly.
+		if *specPath != "" || *builtin != "" || len(filters) > 0 || *sample != 0 ||
+			*seeds != 0 || *window != 0 || *baseSeed != 0 || *shardsFlag != "2" {
+			return fmt.Errorf("serve -service takes no sweep flags: submit specs with `goalsweep submit` (per-job -shards/-seeds/... live there)")
+		}
+		if *jsonOut || *csvOut || *outPath != "" || *benchPath != "" {
+			return fmt.Errorf("serve -service writes no report: render a job with `goalsweep watch`")
+		}
+		coord, err := dist.NewService(dist.CoordinatorConfig{
+			LeaseTTL: *leaseTimeout,
+			Events:   eventLogger(stderr, *verbose),
+			StateDir: *stateDir,
+		})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		// Same handshake shape as batch serve: scripts scrape the URL
+		// after "at ".
+		fmt.Fprintf(stderr, "goalsweep: sweep service at http://%s (%d jobs recovered)\n",
+			ln.Addr(), len(coord.Jobs()))
+		srv := &http.Server{Handler: serveHandler(coord, *dashboard, *benchHistory)}
+		go srv.Serve(ln)
+		<-ctx.Done()
+		fmt.Fprintln(stderr, "goalsweep: sweep service shutting down")
+		return srv.Close()
+	}
+
+	shards, err := parseShards(*shardsFlag)
+	if err != nil {
+		return err
+	}
+	if shards == 0 {
+		return fmt.Errorf("-shards auto sizes per submitted job and needs -service; a batch sweep wants an explicit count")
+	}
 	spec, err := resolveSpec(*specPath, *builtin, filters)
 	if err != nil {
 		return err
@@ -77,16 +143,14 @@ func runServe(args []string, stdout, stderr io.Writer) (retErr error) {
 	// The CLI always binds through the stock registry, on both sides of
 	// the protocol; workers re-derive the fingerprint from their own
 	// binary and refuse a skewed plan.
-	plan, err := dist.NewPlan(spec, scenario.Builtin().Version(), cfg, *shards, *sample, *sampleSeed)
+	plan, err := dist.NewPlan(spec, scenario.Builtin().Version(), cfg, shards, *sample, *sampleSeed)
 	if err != nil {
 		return err
-	}
-	if *benchHistory != "" && !*dashboard {
-		return fmt.Errorf("-bench-history only makes sense with -dashboard")
 	}
 	coord, err := dist.NewCoordinator(plan, dist.CoordinatorConfig{
 		LeaseTTL: *leaseTimeout,
 		Events:   eventLogger(stderr, *verbose),
+		StateDir: *stateDir,
 	})
 	if err != nil {
 		return err
@@ -104,7 +168,7 @@ func runServe(args []string, stdout, stderr io.Writer) (retErr error) {
 	defer srv.Close()
 
 	start := time.Now()
-	if err := coord.Wait(context.Background()); err != nil {
+	if err := coord.Wait(ctx); err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
@@ -161,11 +225,13 @@ func runServe(args []string, stdout, stderr io.Writer) (retErr error) {
 	return trialFailures(sum, stats)
 }
 
-// runWork is the worker side: goalsweep work -coordinator URL pulls shard
-// leases, executes them through the ordinary local sweep (optionally
-// against a shared result cache) and submits the envelopes until the
-// coordinator reports the sweep complete.
-func runWork(args []string, stdout, stderr io.Writer) error {
+// runWork is the worker side: goalsweep work -coordinator URL pulls
+// shard leases — job-agnostic fair-share by default, pinned with -job —
+// executes them through the ordinary local sweep (optionally against a
+// shared result cache) and submits the envelopes until the coordinator
+// reports the queue done (or, against a -service coordinator, forever;
+// -exit-when-idle returns once the queue drains instead).
+func runWork(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("goalsweep work", flag.ContinueOnError)
 	var (
 		coordinator = fs.String("coordinator", "", "coordinator base URL (http://host:port; required)")
@@ -173,6 +239,8 @@ func runWork(args []string, stdout, stderr io.Writer) error {
 		parallel    = fs.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
 		poll        = fs.Duration("poll", 500*time.Millisecond, "backoff between lease attempts while all shards are claimed elsewhere")
 		id          = fs.String("id", "", "worker name in coordinator accounting (default derived from the process ID)")
+		job         = fs.String("job", "", "work only this job's shards and exit when it completes (default: fair-share across the whole queue)")
+		exitIdle    = fs.Bool("exit-when-idle", false, "exit when a service coordinator reports no open work instead of polling for new jobs")
 		verbose     = fs.Bool("v", false, "log every lease/shard lifecycle event to stderr (default: warnings only)")
 		cpuProfile  = fs.String("cpuprofile", "", "refused: profile a local goalsweep run instead")
 		memProfile  = fs.String("memprofile", "", "refused: profile a local goalsweep run instead")
@@ -195,6 +263,8 @@ func runWork(args []string, stdout, stderr io.Writer) error {
 		Parallel:    *parallel,
 		Poll:        *poll,
 		ID:          *id,
+		Job:         *job,
+		ExitOnIdle:  *exitIdle,
 		Events:      eventLogger(stderr, *verbose),
 	}
 	if *cacheDir != "" {
@@ -204,7 +274,7 @@ func runWork(args []string, stdout, stderr io.Writer) error {
 		}
 		w.Cache = cache
 	}
-	n, err := w.Run(context.Background())
+	n, err := w.Run(ctx)
 	if err != nil {
 		return err
 	}

@@ -19,7 +19,10 @@
 //	goalsweep benchcmp old.json new.json         # throughput regression check
 //	goalsweep -builtin default -fingerprint      # print the sweep fingerprint
 //	goalsweep serve -builtin default -shards 3 -listen :8077 -json -out report.json
+//	goalsweep serve -service -state DIR -listen :8077
 //	goalsweep work -coordinator http://host:8077 -cache DIR
+//	goalsweep submit -coordinator http://host:8077 -builtin default -shards auto
+//	goalsweep watch -coordinator http://host:8077 -json -out report.json JOB
 //
 // Sweeps are deterministic per spec and seed: -parallel bounds the worker
 // pool without changing a byte of -json/-csv output, and every scenario
@@ -37,6 +40,14 @@
 // leases shards over HTTP with a timeout — crashed workers' shards are
 // re-issued — validates every submitted envelope against the sweep
 // fingerprint, and writes the merged report once the last shard lands.
+// "goalsweep serve -service" runs the same coordinator as a long-lived
+// multi-tenant job queue instead: "goalsweep submit" enqueues sweeps
+// over the /v1 API (printing the job ID), job-agnostic workers drain the
+// queue fair-share, and "goalsweep watch" streams a job's shard
+// envelopes over SSE and renders the merged report — still
+// byte-identical to a local run of the same spec. With -state DIR the
+// service persists plans and envelopes and resumes incomplete jobs
+// across restarts without re-executing finished shards.
 // -cache DIR keeps a content-addressed store of per-scenario
 // aggregates keyed by scenario ID, base seed, trials and window: hit
 // scenarios are emitted without executing a single trial, again
@@ -46,16 +57,19 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/harness"
@@ -63,7 +77,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// SIGINT/SIGTERM cancel the context instead of killing the process,
+	// so a long-lived `serve -service` shuts its listener down cleanly
+	// (and a second signal force-kills via the default handler).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "goalsweep:", err)
 		os.Exit(1)
 	}
@@ -78,7 +98,12 @@ func (f *filterFlags) Set(v string) error {
 	return nil
 }
 
-func run(args []string, stdout, stderr io.Writer) (retErr error) {
+// run is runCtx without cancellation — the signature most tests use.
+func run(args []string, stdout, stderr io.Writer) error {
+	return runCtx(context.Background(), args, stdout, stderr)
+}
+
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr error) {
 	if len(args) > 0 {
 		switch args[0] {
 		case "merge":
@@ -86,9 +111,13 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		case "benchcmp":
 			return runBenchcmp(args[1:], stdout)
 		case "serve":
-			return runServe(args[1:], stdout, stderr)
+			return runServe(ctx, args[1:], stdout, stderr)
 		case "work":
-			return runWork(args[1:], stdout, stderr)
+			return runWork(ctx, args[1:], stdout, stderr)
+		case "submit":
+			return runSubmit(ctx, args[1:], stdout, stderr)
+		case "watch":
+			return runWatch(ctx, args[1:], stdout, stderr)
 		}
 	}
 	fs := flag.NewFlagSet("goalsweep", flag.ContinueOnError)

@@ -1,0 +1,226 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// Client speaks the coordinator's /v1 resource API. Both the Worker and
+// the `goalsweep submit`/`watch` CLI verbs are built on it, and because
+// it takes any *http.Client, LoopbackClient runs the same code paths
+// against an in-process coordinator in hermetic tests.
+type Client struct {
+	// BaseURL is the coordinator's base URL (http://host:port).
+	BaseURL string
+	// HTTP issues the requests; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the coordinator at base; hc nil means
+// http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/"), HTTP: hc}
+}
+
+func (cl *Client) http() *http.Client {
+	if cl.HTTP != nil {
+		return cl.HTTP
+	}
+	return http.DefaultClient
+}
+
+// TransportError marks a failure to reach the coordinator at all (as
+// opposed to a coordinator that answered with a refusal). Callers use it
+// to decide what is retryable: a connection refused during coordinator
+// startup is, a 409 fingerprint conflict is not.
+type TransportError struct{ Err error }
+
+func (e *TransportError) Error() string { return e.Err.Error() }
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// do issues one request and decodes the JSON response into out (skipped
+// when out is nil). Non-2xx responses become errors carrying the
+// coordinator's message; transport failures come back as *TransportError.
+func (cl *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, cl.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := cl.http().Do(req)
+	if err != nil {
+		return &TransportError{Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return httpError(method+" "+path, resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("dist: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// CreateSweep submits one sweep (POST /v1/sweeps). The response carries
+// the job — freshly created, or the already-queued one when an
+// identical sweep is in the queue.
+func (cl *Client) CreateSweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
+	req.Protocol = ProtocolVersion
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp SweepResponse
+	if err := cl.do(ctx, http.MethodPost, "/v1/sweeps", bytes.NewReader(body), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Sweeps lists every queued job (GET /v1/sweeps), in submission order.
+func (cl *Client) Sweeps(ctx context.Context) ([]JobStatus, error) {
+	var jobs []JobStatus
+	if err := cl.do(ctx, http.MethodGet, "/v1/sweeps", nil, &jobs); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// Sweep fetches one job's status with shard states (GET /v1/sweeps/{id}).
+func (cl *Client) Sweep(ctx context.Context, id string) (*JobStatus, error) {
+	var js JobStatus
+	if err := cl.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &js); err != nil {
+		return nil, err
+	}
+	return &js, nil
+}
+
+// Lease asks for work: scoped to one job when job is non-empty (POST
+// /v1/sweeps/{job}/leases), fair-share across every active job otherwise
+// (POST /v1/leases).
+func (cl *Client) Lease(ctx context.Context, job string, req LeaseRequest) (*LeaseResponse, error) {
+	req.Protocol = ProtocolVersion
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	path := "/v1/leases"
+	if job != "" {
+		path = "/v1/sweeps/" + job + "/leases"
+	}
+	var lease LeaseResponse
+	if err := cl.do(ctx, http.MethodPost, path, bytes.NewReader(body), &lease); err != nil {
+		return nil, err
+	}
+	if lease.Protocol != ProtocolVersion {
+		return nil, fmt.Errorf("dist: coordinator speaks protocol %d, want %d", lease.Protocol, ProtocolVersion)
+	}
+	return &lease, nil
+}
+
+// Renew extends one lease (POST /v1/leases/{lease}/renew).
+func (cl *Client) Renew(ctx context.Context, leaseID string) (*RenewResponse, error) {
+	var rr RenewResponse
+	if err := cl.do(ctx, http.MethodPost, "/v1/leases/"+leaseID+"/renew", nil, &rr); err != nil {
+		return nil, err
+	}
+	return &rr, nil
+}
+
+// SubmitResult pushes one shard envelope back under its lease (POST
+// /v1/leases/{lease}/result). The executed and mallocs query parameters
+// carry the accounting that is json:"-" in the envelope.
+func (cl *Client) SubmitResult(ctx context.Context, leaseID string, sr *scenario.ShardResult, executed, mallocs int64) (*SubmitResponse, error) {
+	var buf bytes.Buffer
+	if err := sr.Write(&buf); err != nil {
+		return nil, err
+	}
+	path := fmt.Sprintf("/v1/leases/%s/result?executed=%d&mallocs=%d", leaseID, executed, mallocs)
+	var ack SubmitResponse
+	if err := cl.do(ctx, http.MethodPost, path, bytes.NewReader(buf.Bytes()), &ack); err != nil {
+		return nil, err
+	}
+	return &ack, nil
+}
+
+// SweepEvent is one parsed frame from a job's event stream.
+type SweepEvent struct {
+	// Type is the event field: EventShard or EventComplete.
+	Type string
+	// ID is the frame's id field (the shard index for EventShard, the
+	// job ID for EventComplete).
+	ID string
+	// Data is the frame's payload: a compact scenario.ShardResult for
+	// EventShard, a CompleteEvent for EventComplete.
+	Data []byte
+}
+
+// Events subscribes to one job's stream (GET /v1/sweeps/{id}/events) and
+// calls fn for every frame until the stream ends (after EventComplete),
+// fn returns an error, or the context ends. A nil return means the
+// stream completed.
+func (cl *Client) Events(ctx context.Context, id string, fn func(SweepEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.BaseURL+"/v1/sweeps/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := cl.http().Do(req)
+	if err != nil {
+		return &TransportError{Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("GET /v1/sweeps/"+id+"/events", resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	// A shard frame carries a whole envelope on one data line; size the
+	// scanner for the default matrix's largest shard with headroom.
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var ev SweepEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if ev.Type != "" || ev.Data != nil {
+				done := ev.Type == EventComplete
+				if err := fn(ev); err != nil {
+					return err
+				}
+				if done {
+					return nil
+				}
+			}
+			ev = SweepEvent{}
+		case strings.HasPrefix(line, "event: "):
+			ev.Type = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			ev.ID = line[len("id: "):]
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = []byte(line[len("data: "):])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return &TransportError{Err: err}
+	}
+	return fmt.Errorf("dist: event stream for %s ended before the job completed", id)
+}
+
+// httpError folds a non-2xx response into an error carrying the
+// coordinator's message.
+func httpError(op string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("dist: %s: coordinator answered %s: %s", op, resp.Status, bytes.TrimSpace(msg))
+}

@@ -30,77 +30,125 @@ type CoordinatorConfig struct {
 	// Events, when non-nil, receives one structured event per lease and
 	// submit transition (see internal/obs). Nil means silent.
 	Events *obs.Logger
+
+	// Registry resolves scenarios for sweeps submitted over POST
+	// /v1/sweeps (the plan fingerprint is computed under its version);
+	// nil means Builtin().
+	Registry *scenario.Registry
+
+	// StateDir, when non-empty, is where the coordinator persists each
+	// job's plan and accepted shard envelopes. A coordinator restarted
+	// over the same directory resumes every job, re-queueing only the
+	// shards whose envelopes are missing or invalid.
+	StateDir string
 }
 
-// shardState is the coordinator's bookkeeping for one shard.
-type shardState struct {
-	done    bool
-	leaseID string    // current lease, "" if never leased
-	expires time.Time // current lease's deadline
-}
-
-// Coordinator plans a sweep's shards, leases them to workers over HTTP
-// and collects the resulting envelopes. It is an http.Handler serving
-// /lease, /submit and /status; all state is guarded by one mutex, so a
-// coordinator can serve any number of concurrent workers.
+// Coordinator is a multi-tenant sweep service: a queue of jobs (each one
+// planned sweep), leased shard-by-shard to workers fair-share across
+// jobs, with the resulting envelopes collected per job. It is an
+// http.Handler serving the versioned /v1 resource API plus the legacy
+// single-sweep routes; all state is guarded by one mutex, so a
+// coordinator can serve any number of concurrent workers and submitters.
+//
+// A coordinator built with NewCoordinator is *sealed*: its queue holds
+// exactly the one batch job and accepts no submissions, and workers are
+// told to exit once it completes — `goalsweep serve`'s one-shot mode.
+// NewService builds the unsealed, long-lived variant.
 type Coordinator struct {
-	plan     Plan
 	leaseTTL time.Duration
 	now      func() time.Time
 	events   *obs.Logger
+	registry *scenario.Registry
+	stateDir string
+	sealed   bool
 	mux      *http.ServeMux
 
-	mu           sync.Mutex
-	shards       []shardState                  // index i-1 holds shard i/n
-	leases       map[string]leaseInfo          // lease ID -> holder
-	results      map[int]*scenario.ShardResult // 1-based shard index -> envelope
-	workers      map[string]*workerInfo        // every worker that ever polled
-	submitters   map[string]int                // workers whose envelopes were accepted -> parallelism
-	undrained    map[string]bool               // workers not yet told StatusDone
-	executed     int64                         // trials the fleet reported actually executing
-	execKnown    bool                          // every accepted submit carried an executed count
-	mallocs      int64                         // worker heap allocations across all executed shards
-	mallocsKnown bool                          // every accepted submit carried a mallocs count
-	nextID       int
-	done         chan struct{}
-	drained      chan struct{}
+	mu        sync.Mutex
+	jobs      map[string]*job // job ID -> job
+	order     []*job          // submission order; order[0] is the default job
+	cursor    int             // index into order of the last job granted a lease
+	leases    map[string]leaseInfo
+	workers   map[string]*workerInfo // every worker that ever polled
+	undrained map[string]bool        // workers not yet told StatusDone
+	nextID    int
+
+	// Observed lease-grant → accepted-submit latency, for -shards auto.
+	shardLatSum float64
+	shardLatN   int64
+
+	drained chan struct{}
 }
 
-// leaseInfo records who holds (or held) a lease on which shard.
+// leaseInfo records who holds (or held) a lease on which shard of which
+// job.
 type leaseInfo struct {
+	job      *job
 	shard    int // 1-based
 	worker   string
 	parallel int
 	granted  time.Time // when the lease was issued, for shard latency
 }
 
-// workerInfo is the coordinator's live view of one worker.
+// workerInfo is the coordinator's live view of one worker. Workers are
+// job-agnostic: one registration serves however many jobs the worker's
+// leases end up spanning.
 type workerInfo struct {
 	parallel  int
 	submitted int
 	lastSeen  time.Time
 }
 
-// NewCoordinator builds a coordinator for the plan.
+// NewCoordinator builds a sealed single-job coordinator for the plan —
+// the one-shot batch mode. With cfg.StateDir set, envelopes already on
+// disk for this plan are resumed and only the missing shards re-execute.
 func NewCoordinator(plan Plan, cfg CoordinatorConfig) (*Coordinator, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
+	c := newCoordinator(cfg)
+	c.sealed = true
+	c.mu.Lock()
+	_, _, err := c.submitPlanLocked(plan)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewService builds an unsealed multi-job coordinator with an initially
+// empty queue — the long-lived service mode. With cfg.StateDir set, the
+// directory is scanned and every recorded job resubmitted, its completed
+// shard envelopes resumed.
+func NewService(cfg CoordinatorConfig) (*Coordinator, error) {
+	c := newCoordinator(cfg)
+	if c.stateDir != "" {
+		if err := ensureDir(c.stateDir); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		err := c.recoverJobsLocked()
+		c.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func newCoordinator(cfg CoordinatorConfig) *Coordinator {
 	c := &Coordinator{
-		plan:         plan,
-		leaseTTL:     cfg.LeaseTTL,
-		now:          cfg.Now,
-		events:       cfg.Events,
-		shards:       make([]shardState, plan.Shards),
-		leases:       make(map[string]leaseInfo),
-		results:      make(map[int]*scenario.ShardResult),
-		workers:      make(map[string]*workerInfo),
-		submitters:   make(map[string]int),
-		undrained:    make(map[string]bool),
-		execKnown:    true,
-		mallocsKnown: true,
-		done:         make(chan struct{}),
-		drained:      make(chan struct{}),
+		leaseTTL:  cfg.LeaseTTL,
+		now:       cfg.Now,
+		events:    cfg.Events,
+		registry:  cfg.Registry,
+		stateDir:  cfg.StateDir,
+		jobs:      make(map[string]*job),
+		cursor:    -1,
+		leases:    make(map[string]leaseInfo),
+		workers:   make(map[string]*workerInfo),
+		undrained: make(map[string]bool),
+		drained:   make(chan struct{}),
 	}
 	if c.leaseTTL <= 0 {
 		c.leaseTTL = 2 * time.Minute
@@ -108,13 +156,27 @@ func NewCoordinator(plan Plan, cfg CoordinatorConfig) (*Coordinator, error) {
 	if c.now == nil {
 		c.now = time.Now
 	}
+	if c.registry == nil {
+		c.registry = scenario.Builtin()
+	}
 	c.mux = http.NewServeMux()
-	c.mux.HandleFunc("POST /lease", c.handleLease)
-	c.mux.HandleFunc("POST /renew", c.handleRenew)
-	c.mux.HandleFunc("POST /submit", c.handleSubmit)
+	// Versioned resource surface.
+	c.mux.HandleFunc("POST /v1/sweeps", c.handleCreateSweep)
+	c.mux.HandleFunc("GET /v1/sweeps", c.handleListSweeps)
+	c.mux.HandleFunc("GET /v1/sweeps/{id}", c.handleGetSweep)
+	c.mux.HandleFunc("GET /v1/sweeps/{id}/events", c.handleEvents)
+	c.mux.HandleFunc("POST /v1/sweeps/{id}/leases", c.handleLeaseScoped)
+	c.mux.HandleFunc("POST /v1/leases", c.handleLeaseGlobal)
+	c.mux.HandleFunc("POST /v1/leases/{lease}/renew", c.handleRenewV1)
+	c.mux.HandleFunc("POST /v1/leases/{lease}/result", c.handleResultV1)
+	// Legacy single-sweep shim, kept for one release: routed to the
+	// default (first-submitted) job.
+	c.mux.HandleFunc("POST /lease", c.handleLeaseLegacy)
+	c.mux.HandleFunc("POST /renew", c.handleRenewLegacy)
+	c.mux.HandleFunc("POST /submit", c.handleSubmitLegacy)
 	c.mux.HandleFunc("GET /status", c.handleStatus)
 	c.mux.HandleFunc("GET /metrics", handleMetrics)
-	return c, nil
+	return c
 }
 
 // handleMetrics serves the process-wide metric registry in Prometheus
@@ -126,12 +188,96 @@ func handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.Default().WriteProm(w)
 }
 
-// Plan returns the plan the coordinator distributes.
-func (c *Coordinator) Plan() Plan { return c.plan }
+// Plan returns the default job's plan (the batch sweep for a sealed
+// coordinator); the zero Plan if the queue is empty.
+func (c *Coordinator) Plan() Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.order) == 0 {
+		return Plan{}
+	}
+	return c.order[0].plan
+}
 
 // ServeHTTP implements http.Handler.
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	c.mux.ServeHTTP(w, r)
+}
+
+// submitPlanLocked resolves a plan into the queue: the existing job if
+// one with the same derived ID is already queued (created false), a new
+// job otherwise. New jobs resume any valid envelopes already persisted
+// under the state directory. Called with c.mu held.
+func (c *Coordinator) submitPlanLocked(plan Plan) (*job, bool, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, false, err
+	}
+	if j, ok := c.jobs[JobID(plan)]; ok {
+		return j, false, nil
+	}
+	j := newJob(plan)
+	c.jobs[j.id] = j
+	c.order = append(c.order, j)
+	mJobsSubmitted.Inc()
+	c.events.Event(obs.LevelInfo, "sweep.submit",
+		obs.String("spec", plan.Spec.Name),
+		obs.String("fingerprint", plan.Fingerprint),
+		obs.Int("shards", plan.Shards),
+		obs.String("job", j.id))
+	c.persistPlanLocked(j)
+	c.resumeShardsLocked(j)
+	if j.complete() {
+		c.completeJobLocked(j)
+	}
+	mJobsActive.Set(float64(c.activeJobsLocked()))
+	return j, true, nil
+}
+
+// activeJobsLocked counts queued jobs that are not yet complete.
+func (c *Coordinator) activeJobsLocked() int {
+	n := 0
+	for _, j := range c.order {
+		if !j.complete() {
+			n++
+		}
+	}
+	return n
+}
+
+// allCompleteLocked reports whether the queue is non-empty and every job
+// is complete.
+func (c *Coordinator) allCompleteLocked() bool {
+	if len(c.order) == 0 {
+		return false
+	}
+	for _, j := range c.order {
+		if !j.complete() {
+			return false
+		}
+	}
+	return true
+}
+
+// completeJobLocked marks one job complete: closes its done channel,
+// ends its event streams, and — if the whole sealed queue is drained —
+// unblocks WaitDrained. Idempotent; called with c.mu held.
+func (c *Coordinator) completeJobLocked(j *job) {
+	select {
+	case <-j.done:
+		return
+	default:
+	}
+	close(j.done)
+	c.events.Event(obs.LevelInfo, "sweep.complete",
+		obs.String("spec", j.plan.Spec.Name),
+		obs.String("fingerprint", j.plan.Fingerprint),
+		obs.Int("shards", j.plan.Shards),
+		obs.Int64("executed", j.executed),
+		obs.String("job", j.id))
+	c.publishLocked(j, completeFrame(j))
+	c.closeSubsLocked(j)
+	mJobsActive.Set(float64(c.activeJobsLocked()))
+	c.checkDrainedLocked()
 }
 
 // sawWorkerLocked refreshes the coordinator's liveness view of one
@@ -157,15 +303,67 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// handleLease hands the lowest pending (or expired-lease) shard to the
-// asking worker, or tells it to wait or exit. The response is computed
-// under the state lock but written to the socket after releasing it — a
-// stalled client connection must never block the other endpoints (a
-// blocked /renew would expire healthy leases).
-func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
-	var req LeaseRequest
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// httpErr is a handler outcome carried from a locked state transition to
+// the unlocked socket write.
+type httpErr struct {
+	code int
+	msg  string
+}
+
+// Auto-sharding (-shards auto) parameters: start from a few shards per
+// registered worker (so a fleet keeps its pipeline full and a straggler
+// costs 1/perWorker of the job, not half of it), widen the partition
+// when observed shard latency exceeds the target (long shards mean
+// coarse progress and expensive lease expiries), and never exceed the
+// cap or the job's scenario count.
+const (
+	autoShardPerWorker     = 4
+	autoShardTargetSeconds = 10.0
+	autoShardMax           = 256
+)
+
+// autoShardsLocked sizes a partition for a job of `selection` scenarios
+// from the current worker count and the observed lease-grant-to-submit
+// latency (the PR 7 shard-seconds histogram feed). Called with c.mu
+// held.
+func (c *Coordinator) autoShardsLocked(selection int64) int {
+	workers := len(c.workers)
+	if workers < 1 {
+		workers = 1
+	}
+	n := autoShardPerWorker * workers
+	if c.shardLatN > 0 {
+		mean := c.shardLatSum / float64(c.shardLatN)
+		if k := int(mean / autoShardTargetSeconds); k > 1 {
+			n *= k
+		}
+	}
+	if n > autoShardMax {
+		n = autoShardMax
+	}
+	if selection > 0 && int64(n) > selection {
+		n = int(selection)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// handleCreateSweep admits one sweep into the queue: POST /v1/sweeps
+// with a SweepRequest body answers a SweepResponse — 201 and the new
+// job when the sweep was admitted, 200 and the existing job when an
+// identical sweep (same fingerprint, same partition) is already queued.
+func (c *Coordinator) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("dist: decode lease request: %v", err), http.StatusBadRequest)
+		http.Error(w, fmt.Sprintf("dist: decode sweep request: %v", err), http.StatusBadRequest)
 		return
 	}
 	if req.Protocol != ProtocolVersion {
@@ -173,71 +371,332 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, c.leaseLocked(req))
+	if req.Spec == nil {
+		http.Error(w, "dist: sweep request has no spec", http.StatusBadRequest)
+		return
+	}
+	if err := req.Spec.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Shards < 0 {
+		http.Error(w, fmt.Sprintf("dist: shard count %d < 0", req.Shards), http.StatusBadRequest)
+		return
+	}
+	m, err := scenario.NewMatrix(req.Spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	selection := m.Size()
+	if req.SampleN > 0 && int64(req.SampleN) < selection {
+		selection = int64(req.SampleN)
+	}
+	resp, herr := c.createSweepLocked(req, selection)
+	if herr != nil {
+		http.Error(w, herr.msg, herr.code)
+		return
+	}
+	code := http.StatusOK
+	if resp.Created {
+		code = http.StatusCreated
+	}
+	writeJSONStatus(w, code, resp)
 }
 
-// leaseLocked is handleLease's state transition; it returns the response
-// to send. The embedded *Plan is immutable after construction, so sharing
-// the pointer outside the lock is safe.
-func (c *Coordinator) leaseLocked(req LeaseRequest) LeaseResponse {
+func (c *Coordinator) createSweepLocked(req SweepRequest, selection int64) (*SweepResponse, *httpErr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	shards := req.Shards
+	if shards == 0 {
+		shards = c.autoShardsLocked(selection)
+	}
+	cfg := scenario.SweepConfig{Seeds: req.Seeds, Window: req.Window, BaseSeed: req.BaseSeed}
+	plan, err := NewPlan(req.Spec, c.registry.Version(), cfg, shards, req.SampleN, req.SampleSeed)
+	if err != nil {
+		return nil, &httpErr{http.StatusBadRequest, err.Error()}
+	}
+	if c.sealed {
+		// A sealed batch queue admits nothing new, but answering an
+		// identical resubmission with the existing job keeps the create
+		// call idempotent across both modes.
+		if j, ok := c.jobs[JobID(plan)]; ok {
+			return &SweepResponse{Protocol: ProtocolVersion, Created: false, Job: c.jobStatusLocked(j, true)}, nil
+		}
+		return nil, &httpErr{http.StatusConflict, "dist: coordinator runs a sealed batch queue; submit refused"}
+	}
+	j, created, err := c.submitPlanLocked(plan)
+	if err != nil {
+		return nil, &httpErr{http.StatusBadRequest, err.Error()}
+	}
+	return &SweepResponse{Protocol: ProtocolVersion, Created: created, Job: c.jobStatusLocked(j, true)}, nil
+}
+
+// handleListSweeps answers GET /v1/sweeps: every queued job, in
+// submission order, without per-shard detail.
+func (c *Coordinator) handleListSweeps(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	jobs := make([]JobStatus, 0, len(c.order))
+	for _, j := range c.order {
+		jobs = append(jobs, c.jobStatusLocked(j, false))
+	}
+	c.mu.Unlock()
+	writeJSON(w, jobs)
+}
+
+// handleGetSweep answers GET /v1/sweeps/{id}: one job with its shard
+// states.
+func (c *Coordinator) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	var js JobStatus
+	if ok {
+		js = c.jobStatusLocked(j, true)
+	}
+	c.mu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("dist: unknown sweep %q", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, js)
+}
+
+// jobStatusLocked computes one job's progress accounting. Called with
+// c.mu held.
+func (c *Coordinator) jobStatusLocked(j *job, withShards bool) JobStatus {
+	js := JobStatus{
+		ID:          j.id,
+		Spec:        j.plan.Spec.Name,
+		Fingerprint: j.plan.Fingerprint,
+		Shards:      j.plan.Shards,
+		Resumed:     j.resumed,
+		Complete:    j.complete(),
+	}
+	now := c.now()
+	states := make([]ShardStatus, len(j.shards))
+	for i := range j.shards {
+		ss := ShardStatus{
+			Shard: scenario.Shard{Index: i + 1, Count: j.plan.Shards}.String(),
+			Lease: j.shards[i].leaseID,
+		}
+		if li, ok := c.leases[j.shards[i].leaseID]; ok {
+			ss.Worker = li.worker
+		}
+		switch {
+		case j.shards[i].done:
+			js.Done++
+			ss.State = "done"
+		case j.shards[i].leaseID != "" && now.Before(j.shards[i].expires):
+			js.Leased++
+			ss.State = "leased"
+		default:
+			js.Pending++
+			ss.State = "pending"
+			ss.Worker = ""
+		}
+		states[i] = ss
+	}
+	if j.plan.Shards > 0 {
+		js.Progress = float64(js.Done) / float64(j.plan.Shards)
+	}
+	if withShards {
+		js.ShardStates = states
+	}
+	return js
+}
+
+// handleLeaseLegacy is the pre-/v1 lease route: scoped to the default
+// job, and never answering the post-/v1 idle status (a legacy worker
+// only understands lease/wait/done).
+func (c *Coordinator) handleLeaseLegacy(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeLeaseRequest(w, r)
+	if !ok {
+		return
+	}
+	resp, herr := c.leaseLocked(req, "", true)
+	if herr != nil {
+		http.Error(w, herr.msg, herr.code)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// handleLeaseGlobal is POST /v1/leases: job-agnostic work pull, granted
+// fair-share round-robin across every active job.
+func (c *Coordinator) handleLeaseGlobal(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeLeaseRequest(w, r)
+	if !ok {
+		return
+	}
+	resp, herr := c.leaseLocked(req, "", false)
+	if herr != nil {
+		http.Error(w, herr.msg, herr.code)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// handleLeaseScoped is POST /v1/sweeps/{id}/leases: work pull restricted
+// to one job.
+func (c *Coordinator) handleLeaseScoped(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeLeaseRequest(w, r)
+	if !ok {
+		return
+	}
+	resp, herr := c.leaseLocked(req, r.PathValue("id"), false)
+	if herr != nil {
+		http.Error(w, herr.msg, herr.code)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func decodeLeaseRequest(w http.ResponseWriter, r *http.Request) (LeaseRequest, bool) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("dist: decode lease request: %v", err), http.StatusBadRequest)
+		return req, false
+	}
+	if req.Protocol != ProtocolVersion {
+		http.Error(w, fmt.Sprintf("dist: protocol version %d, want %d", req.Protocol, ProtocolVersion),
+			http.StatusBadRequest)
+		return req, false
+	}
+	return req, true
+}
+
+// leaseLocked is the lease state transition; it returns the response to
+// send after the lock is released — a stalled client connection must
+// never block the other endpoints (a blocked /renew would expire healthy
+// leases). jobScope restricts the grant to one job ID; legacy scopes to
+// the default job and suppresses StatusIdle.
+func (c *Coordinator) leaseLocked(req LeaseRequest, jobScope string, legacy bool) (LeaseResponse, *httpErr) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sawWorkerLocked(req.Worker, req.Parallel)
-	if len(c.results) == c.plan.Shards {
-		// This worker now knows the sweep is over and will exit; once
-		// every known worker has heard it the coordinator can tear down
-		// its listener without stranding anyone mid-poll.
+
+	// Resolve the candidate job list.
+	var scope *job
+	if jobScope != "" {
+		j, ok := c.jobs[jobScope]
+		if !ok {
+			return LeaseResponse{}, &httpErr{http.StatusNotFound, fmt.Sprintf("dist: unknown sweep %q", jobScope)}
+		}
+		scope = j
+	} else if legacy {
+		if len(c.order) == 0 {
+			// No default job yet: a legacy worker against an empty
+			// service polls until one is submitted.
+			return LeaseResponse{Protocol: ProtocolVersion, Status: StatusWait}, nil
+		}
+		scope = c.order[0]
+	}
+
+	if scope != nil {
+		if scope.complete() {
+			// This worker now knows its job is over and will exit; once
+			// every known worker has heard a terminal answer the sealed
+			// coordinator can tear down its listener without stranding
+			// anyone mid-poll.
+			delete(c.undrained, req.Worker)
+			c.checkDrainedLocked()
+			return LeaseResponse{Protocol: ProtocolVersion, Status: StatusDone}, nil
+		}
+		if req.Worker != "" {
+			c.undrained[req.Worker] = true
+		}
+		if resp := c.tryGrantLocked(scope, req); resp != nil {
+			return *resp, nil
+		}
+		return LeaseResponse{Protocol: ProtocolVersion, Status: StatusWait}, nil
+	}
+
+	// Job-agnostic pull: fair-share round-robin. The scan starts at the
+	// job after the last one granted, so a long job and a short one
+	// alternate grants instead of the long one starving the short.
+	if c.allCompleteLocked() || len(c.order) == 0 {
 		delete(c.undrained, req.Worker)
 		c.checkDrainedLocked()
-		return LeaseResponse{Protocol: ProtocolVersion, Status: StatusDone}
+		if c.sealed {
+			return LeaseResponse{Protocol: ProtocolVersion, Status: StatusDone}, nil
+		}
+		return LeaseResponse{Protocol: ProtocolVersion, Status: StatusIdle}, nil
 	}
 	if req.Worker != "" {
 		c.undrained[req.Worker] = true
 	}
+	n := len(c.order)
+	for k := 1; k <= n; k++ {
+		j := c.order[(c.cursor+k+n)%n]
+		if j.complete() {
+			continue
+		}
+		if resp := c.tryGrantLocked(j, req); resp != nil {
+			c.cursor = (c.cursor + k + n) % n
+			return *resp, nil
+		}
+	}
+	return LeaseResponse{Protocol: ProtocolVersion, Status: StatusWait}, nil
+}
+
+// tryGrantLocked leases the lowest open (or expired-lease) shard of one
+// job to the asking worker, or returns nil if every shard is done or
+// live-leased. Called with c.mu held. The embedded *Plan is immutable
+// after construction, so sharing the pointer outside the lock is safe.
+func (c *Coordinator) tryGrantLocked(j *job, req LeaseRequest) *LeaseResponse {
 	now := c.now()
-	for i := range c.shards {
-		st := &c.shards[i]
+	for i := range j.shards {
+		st := &j.shards[i]
 		if st.done || (st.leaseID != "" && now.Before(st.expires)) {
 			continue
 		}
 		if st.leaseID != "" {
-			mLeasesExpired.Inc()
+			mLeasesExpired.With(j.id).Inc()
 			c.events.Event(obs.LevelWarn, "lease.expire",
 				obs.String("lease", st.leaseID),
-				obs.String("shard", scenario.Shard{Index: i + 1, Count: c.plan.Shards}.String()),
-				obs.String("worker", c.leases[st.leaseID].worker))
+				obs.String("shard", scenario.Shard{Index: i + 1, Count: j.plan.Shards}.String()),
+				obs.String("worker", c.leases[st.leaseID].worker),
+				obs.String("job", j.id))
 		}
 		c.nextID++
 		st.leaseID = fmt.Sprintf("lease-%d", c.nextID)
 		st.expires = now.Add(c.leaseTTL)
-		c.leases[st.leaseID] = leaseInfo{shard: i + 1, worker: req.Worker, parallel: req.Parallel, granted: now}
-		mLeasesGranted.Inc()
+		c.leases[st.leaseID] = leaseInfo{job: j, shard: i + 1, worker: req.Worker, parallel: req.Parallel, granted: now}
+		mLeasesGranted.With(j.id).Inc()
 		c.events.Event(obs.LevelInfo, "lease.grant",
 			obs.String("lease", st.leaseID),
-			obs.String("shard", scenario.Shard{Index: i + 1, Count: c.plan.Shards}.String()),
+			obs.String("shard", scenario.Shard{Index: i + 1, Count: j.plan.Shards}.String()),
 			obs.String("worker", req.Worker),
-			obs.Int64("ttlMs", c.leaseTTL.Milliseconds()))
-		return LeaseResponse{
+			obs.Int64("ttlMs", c.leaseTTL.Milliseconds()),
+			obs.String("job", j.id))
+		return &LeaseResponse{
 			Protocol: ProtocolVersion,
 			Status:   StatusLease,
 			LeaseID:  st.leaseID,
-			Shard:    scenario.Shard{Index: i + 1, Count: c.plan.Shards},
-			Plan:     &c.plan,
+			Job:      j.id,
+			Shard:    scenario.Shard{Index: i + 1, Count: j.plan.Shards},
+			Plan:     &j.plan,
 			TTLMs:    c.leaseTTL.Milliseconds(),
 		}
 	}
-	return LeaseResponse{Protocol: ProtocolVersion, Status: StatusWait}
+	return nil
 }
 
-// handleRenew extends a live lease: workers renew while a shard's sweep
-// is still running, so the lease TTL bounds crash *detection* latency,
-// not shard duration. A renewal is refused (Renewed false, not an error)
-// when the lease is no longer the shard's current one — the shard was
-// submitted, or the lease expired and was re-issued.
-func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
-	leaseID := r.URL.Query().Get("lease")
+// handleRenewLegacy extends a live lease via the legacy query-param
+// route.
+func (c *Coordinator) handleRenewLegacy(w http.ResponseWriter, r *http.Request) {
+	c.renewCommon(w, r.URL.Query().Get("lease"), "dist: renew without lease ID")
+}
+
+// handleRenewV1 extends a live lease via POST /v1/leases/{lease}/renew.
+func (c *Coordinator) handleRenewV1(w http.ResponseWriter, r *http.Request) {
+	c.renewCommon(w, r.PathValue("lease"), "dist: renew without lease ID")
+}
+
+func (c *Coordinator) renewCommon(w http.ResponseWriter, leaseID, missingMsg string) {
 	if leaseID == "" {
-		http.Error(w, "dist: renew without lease ID", http.StatusBadRequest)
+		http.Error(w, missingMsg, http.StatusBadRequest)
 		return
 	}
 	rr, herr := c.renewLocked(leaseID)
@@ -248,13 +707,11 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, rr)
 }
 
-// httpErr is a handler outcome carried from a locked state transition to
-// the unlocked socket write.
-type httpErr struct {
-	code int
-	msg  string
-}
-
+// renewLocked extends a live lease: workers renew while a shard's sweep
+// is still running, so the lease TTL bounds crash *detection* latency,
+// not shard duration. A renewal is refused (Renewed false, not an error)
+// when the lease is no longer the shard's current one — the shard was
+// submitted, or the lease expired and was re-issued.
 func (c *Coordinator) renewLocked(leaseID string) (RenewResponse, *httpErr) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -262,7 +719,7 @@ func (c *Coordinator) renewLocked(leaseID string) (RenewResponse, *httpErr) {
 	if !ok {
 		return RenewResponse{}, &httpErr{http.StatusNotFound, fmt.Sprintf("dist: unknown lease %q", leaseID)}
 	}
-	st := &c.shards[li.shard-1]
+	st := &li.job.shards[li.shard-1]
 	if st.done || st.leaseID != leaseID {
 		return RenewResponse{Renewed: false}, nil
 	}
@@ -271,18 +728,30 @@ func (c *Coordinator) renewLocked(leaseID string) (RenewResponse, *httpErr) {
 	mLeasesRenewed.Inc()
 	c.events.Event(obs.LevelDebug, "lease.renew",
 		obs.String("lease", leaseID),
-		obs.String("shard", scenario.Shard{Index: li.shard, Count: c.plan.Shards}.String()),
-		obs.String("worker", li.worker))
+		obs.String("shard", scenario.Shard{Index: li.shard, Count: li.job.plan.Shards}.String()),
+		obs.String("worker", li.worker),
+		obs.String("job", li.job.id))
 	return RenewResponse{Renewed: true, TTLMs: c.leaseTTL.Milliseconds()}, nil
 }
 
-// handleSubmit validates and stores one shard envelope. Submissions under
-// an expired lease are accepted as long as the shard is still open —
-// sweeps are deterministic, so a straggler's envelope is byte-identical
-// to the re-leased worker's — and submissions for an already-completed
-// shard are acknowledged idempotently and discarded.
-func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	leaseID := r.URL.Query().Get("lease")
+// handleSubmitLegacy stores one shard envelope via the legacy
+// query-param route.
+func (c *Coordinator) handleSubmitLegacy(w http.ResponseWriter, r *http.Request) {
+	c.submitCommon(w, r, r.URL.Query().Get("lease"))
+}
+
+// handleResultV1 stores one shard envelope via POST
+// /v1/leases/{lease}/result.
+func (c *Coordinator) handleResultV1(w http.ResponseWriter, r *http.Request) {
+	c.submitCommon(w, r, r.PathValue("lease"))
+}
+
+// submitCommon validates and stores one shard envelope. Submissions
+// under an expired lease are accepted as long as the shard is still open
+// — sweeps are deterministic, so a straggler's envelope is
+// byte-identical to the re-leased worker's — and submissions for an
+// already-completed shard are acknowledged idempotently and discarded.
+func (c *Coordinator) submitCommon(w http.ResponseWriter, r *http.Request, leaseID string) {
 	if leaseID == "" {
 		c.rejectSubmit("no_lease", "dist: submit without lease ID")
 		http.Error(w, "dist: submit without lease ID", http.StatusBadRequest)
@@ -321,38 +790,40 @@ func (c *Coordinator) submitLocked(leaseID string, sr *scenario.ShardResult, exe
 		return SubmitResponse{}, &httpErr{http.StatusNotFound, fmt.Sprintf("dist: unknown lease %q", leaseID)}
 	}
 	c.sawWorkerLocked(li.worker, li.parallel)
+	j := li.job
 	idx := li.shard
-	// Validate the envelope against the plan before it can reach
+	// Validate the envelope against the job's plan before it can reach
 	// MergeShards: the fingerprint proves the worker ran the same sweep
 	// (same spec content, registry version, seeds, window, base seed and
 	// sample selection), and the shard coordinates must be the leased
 	// ones.
-	if sr.Fingerprint != c.plan.Fingerprint {
+	if sr.Fingerprint != j.plan.Fingerprint {
 		c.rejectSubmit("fingerprint", sr.Fingerprint)
 		return SubmitResponse{}, &httpErr{http.StatusConflict,
 			fmt.Sprintf("dist: envelope fingerprint %s does not match plan %s — worker ran a different sweep",
-				sr.Fingerprint, c.plan.Fingerprint)}
+				sr.Fingerprint, j.plan.Fingerprint)}
 	}
-	if sr.Shard.Index != idx || sr.Shard.Count != c.plan.Shards {
+	if sr.Shard.Index != idx || sr.Shard.Count != j.plan.Shards {
 		c.rejectSubmit("shard", sr.Shard.String())
 		return SubmitResponse{}, &httpErr{http.StatusConflict,
 			fmt.Sprintf("dist: envelope covers shard %s but lease %s names shard %d/%d",
-				sr.Shard, leaseID, idx, c.plan.Shards)}
+				sr.Shard, leaseID, idx, j.plan.Shards)}
 	}
-	if c.shards[idx-1].done {
+	if j.shards[idx-1].done {
 		// A straggler finished after its shard was re-leased and
 		// resubmitted; its bytes are identical by determinism, so just
 		// acknowledge.
-		mSubmitsDuplicate.Inc()
+		mSubmitsDuplicate.With(j.id).Inc()
 		c.events.Event(obs.LevelInfo, "submit.duplicate",
 			obs.String("lease", leaseID),
 			obs.String("shard", sr.Shard.String()),
-			obs.String("worker", li.worker))
-		return SubmitResponse{Accepted: true, Done: len(c.results) == c.plan.Shards}, nil
+			obs.String("worker", li.worker),
+			obs.String("job", j.id))
+		return SubmitResponse{Accepted: true, Done: j.complete()}, nil
 	}
-	c.results[idx] = sr
-	c.shards[idx-1].done = true
-	c.submitters[li.worker] = li.parallel
+	j.results[idx] = sr
+	j.shards[idx-1].done = true
+	j.submitters[li.worker] = li.parallel
 	if wi := c.workers[li.worker]; wi != nil {
 		wi.submitted++
 	}
@@ -364,39 +835,40 @@ func (c *Coordinator) submitLocked(leaseID string, sr *scenario.ShardResult, exe
 	// heap-allocation delta rides the same way and aggregates under the
 	// same discipline.
 	if n, err := strconv.ParseInt(executed, 10, 64); err != nil {
-		c.execKnown = false
+		j.execKnown = false
 	} else {
-		c.executed += n
+		j.executed += n
 	}
 	if n, err := strconv.ParseInt(mallocs, 10, 64); err != nil {
-		c.mallocsKnown = false
+		j.mallocsKnown = false
 	} else {
-		c.mallocs += n
+		j.mallocs += n
 	}
-	mSubmitsAccepted.Inc()
+	mSubmitsAccepted.With(j.id).Inc()
 	if !li.granted.IsZero() {
-		mShardSeconds.Observe(c.now().Sub(li.granted).Seconds())
+		secs := c.now().Sub(li.granted).Seconds()
+		mShardSeconds.With(j.id).Observe(secs)
+		c.shardLatSum += secs
+		c.shardLatN++
 	}
-	complete := len(c.results) == c.plan.Shards
+	c.persistShardLocked(j, sr)
 	c.events.Event(obs.LevelInfo, "submit.accept",
 		obs.String("lease", leaseID),
 		obs.String("shard", sr.Shard.String()),
 		obs.String("worker", li.worker),
-		obs.Int("done", len(c.results)),
-		obs.Int("shards", c.plan.Shards))
+		obs.Int("done", len(j.results)),
+		obs.Int("shards", j.plan.Shards),
+		obs.String("job", j.id))
+	c.publishShardLocked(j, sr)
+	complete := j.complete()
 	if complete {
-		c.events.Event(obs.LevelInfo, "sweep.complete",
-			obs.String("spec", c.plan.Spec.Name),
-			obs.String("fingerprint", c.plan.Fingerprint),
-			obs.Int("shards", c.plan.Shards),
-			obs.Int64("executed", c.executed))
-		close(c.done)
-		c.checkDrainedLocked()
+		c.completeJobLocked(j)
 	}
 	return SubmitResponse{Accepted: true, Done: complete}, nil
 }
 
-// handleStatus reports progress.
+// handleStatus reports progress: the whole queue under Jobs, plus flat
+// default-job fields mirroring the pre-/v1 response shape.
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, c.statusLocked())
 }
@@ -405,40 +877,27 @@ func (c *Coordinator) statusLocked() StatusResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := StatusResponse{
-		Protocol:    ProtocolVersion,
-		Spec:        c.plan.Spec.Name,
-		Fingerprint: c.plan.Fingerprint,
-		Shards:      c.plan.Shards,
-		Workers:     len(c.workers),
-		Complete:    len(c.results) == c.plan.Shards,
+		Protocol: ProtocolVersion,
+		Workers:  len(c.workers),
+		Sealed:   c.sealed,
+		Complete: c.allCompleteLocked(),
+		Jobs:     make([]JobStatus, 0, len(c.order)),
+	}
+	for _, j := range c.order {
+		st.Jobs = append(st.Jobs, c.jobStatusLocked(j, true))
+	}
+	if len(st.Jobs) > 0 {
+		d := st.Jobs[0]
+		st.Spec = d.Spec
+		st.Fingerprint = d.Fingerprint
+		st.Shards = d.Shards
+		st.Done = d.Done
+		st.Leased = d.Leased
+		st.Pending = d.Pending
+		st.Progress = d.Progress
+		st.ShardStates = d.ShardStates
 	}
 	now := c.now()
-	st.ShardStates = make([]ShardStatus, len(c.shards))
-	for i := range c.shards {
-		ss := ShardStatus{
-			Shard: scenario.Shard{Index: i + 1, Count: c.plan.Shards}.String(),
-			Lease: c.shards[i].leaseID,
-		}
-		if li, ok := c.leases[c.shards[i].leaseID]; ok {
-			ss.Worker = li.worker
-		}
-		switch {
-		case c.shards[i].done:
-			st.Done++
-			ss.State = "done"
-		case c.shards[i].leaseID != "" && now.Before(c.shards[i].expires):
-			st.Leased++
-			ss.State = "leased"
-		default:
-			st.Pending++
-			ss.State = "pending"
-			ss.Worker = ""
-		}
-		st.ShardStates[i] = ss
-	}
-	if c.plan.Shards > 0 {
-		st.Progress = float64(st.Done) / float64(c.plan.Shards)
-	}
 	st.WorkerStates = make([]WorkerStatus, 0, len(c.workers))
 	for id, wi := range c.workers {
 		st.WorkerStates = append(st.WorkerStates, WorkerStatus{
@@ -452,11 +911,11 @@ func (c *Coordinator) statusLocked() StatusResponse {
 	return st
 }
 
-// checkDrainedLocked closes the drained channel once the sweep is
-// complete and every known worker has been answered StatusDone. Called
-// with c.mu held.
+// checkDrainedLocked closes the drained channel once a sealed queue is
+// fully complete and every known worker has been answered StatusDone.
+// Called with c.mu held.
 func (c *Coordinator) checkDrainedLocked() {
-	if len(c.results) != c.plan.Shards || len(c.undrained) != 0 {
+	if !c.sealed || !c.allCompleteLocked() || len(c.undrained) != 0 {
 		return
 	}
 	select {
@@ -466,21 +925,61 @@ func (c *Coordinator) checkDrainedLocked() {
 	}
 }
 
-// Wait blocks until every shard has been submitted or the context ends.
+// Jobs returns every queued job's status, in submission order, with
+// shard states.
+func (c *Coordinator) Jobs() []JobStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	jobs := make([]JobStatus, 0, len(c.order))
+	for _, j := range c.order {
+		jobs = append(jobs, c.jobStatusLocked(j, true))
+	}
+	return jobs
+}
+
+// Wait blocks until the default job's every shard has been submitted or
+// the context ends.
 func (c *Coordinator) Wait(ctx context.Context) error {
+	return c.WaitJob(ctx, "")
+}
+
+// WaitJob blocks until the named job (default job when id is "") is
+// complete or the context ends.
+func (c *Coordinator) WaitJob(ctx context.Context, id string) error {
+	j, err := c.jobByID(id)
+	if err != nil {
+		return err
+	}
 	select {
-	case <-c.done:
+	case <-j.done:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-// WaitDrained blocks until the sweep is complete AND every worker that
-// ever asked for a lease has been told StatusDone — the graceful-shutdown
-// point after which tearing down the listener cannot strand a live worker
-// mid-poll. A worker that crashed never drains, so callers bound this
-// with a context deadline.
+// jobByID resolves a job, "" meaning the default (first-submitted) one.
+func (c *Coordinator) jobByID(id string) (*job, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id == "" {
+		if len(c.order) == 0 {
+			return nil, fmt.Errorf("dist: no jobs queued")
+		}
+		return c.order[0], nil
+	}
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown sweep %q", id)
+	}
+	return j, nil
+}
+
+// WaitDrained blocks until a sealed queue is complete AND every worker
+// that ever asked for a lease has been told StatusDone — the
+// graceful-shutdown point after which tearing down the listener cannot
+// strand a live worker mid-poll. A worker that crashed never drains, so
+// callers bound this with a context deadline.
 func (c *Coordinator) WaitDrained(ctx context.Context) error {
 	select {
 	case <-c.drained:
@@ -490,18 +989,29 @@ func (c *Coordinator) WaitDrained(ctx context.Context) error {
 	}
 }
 
-// Merged reassembles the collected envelopes into the unsharded sweep's
-// stats stream and summary; it errors if any shard is still missing.
+// Merged reassembles the default job's collected envelopes into the
+// unsharded sweep's stats stream and summary; it errors if any shard is
+// still missing.
 func (c *Coordinator) Merged() ([]*scenario.Stats, *scenario.Summary, error) {
+	return c.JobMerged("")
+}
+
+// JobMerged reassembles the named job's (default job when id is "")
+// collected envelopes.
+func (c *Coordinator) JobMerged(id string) ([]*scenario.Stats, *scenario.Summary, error) {
+	j, err := c.jobByID(id)
+	if err != nil {
+		return nil, nil, err
+	}
 	c.mu.Lock()
-	shards := make([]*scenario.ShardResult, 0, len(c.results))
-	for _, sr := range c.results {
+	shards := make([]*scenario.ShardResult, 0, len(j.results))
+	for _, sr := range j.results {
 		shards = append(shards, sr)
 	}
-	missing := c.plan.Shards - len(c.results)
+	missing := j.plan.Shards - len(j.results)
 	c.mu.Unlock()
 	if missing > 0 {
-		return nil, nil, fmt.Errorf("dist: %d of %d shards not yet submitted", missing, c.plan.Shards)
+		return nil, nil, fmt.Errorf("dist: %d of %d shards not yet submitted", missing, j.plan.Shards)
 	}
 	return scenario.MergeShards(shards)
 }
@@ -516,39 +1026,49 @@ func (c *Coordinator) Workers() int {
 }
 
 // Submitters returns how many distinct workers had an envelope accepted
-// and the sum of their reported trial-pool sizes (each clamped to at
-// least 1, so the total is usable as a bench artifact's effective
-// parallelism). Unlike Workers, this counts only the fleet that actually
-// produced the sweep.
+// for the default job and the sum of their reported trial-pool sizes
+// (each clamped to at least 1, so the total is usable as a bench
+// artifact's effective parallelism). Unlike Workers, this counts only
+// the fleet that actually produced the sweep.
 func (c *Coordinator) Submitters() (count, totalParallel int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, p := range c.submitters {
+	if len(c.order) == 0 {
+		return 0, 0
+	}
+	for _, p := range c.order[0].submitters {
 		if p < 1 {
 			p = 1
 		}
 		totalParallel += p
 	}
-	return len(c.submitters), totalParallel
+	return len(c.order[0].submitters), totalParallel
 }
 
-// ExecutedTrials returns the fleet's total executed-trial count and
-// whether every accepted submission reported one. known is false when any
-// worker omitted the count (an older or foreign client), in which case
-// the total is a lower bound and throughput artifacts should not be
-// written from it.
+// ExecutedTrials returns the default job's total executed-trial count
+// and whether every accepted submission reported one. known is false
+// when any worker omitted the count (an older or foreign client) or the
+// job resumed shards from disk, in which case the total is a lower bound
+// and throughput artifacts should not be written from it.
 func (c *Coordinator) ExecutedTrials() (total int64, known bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.executed, c.execKnown
+	if len(c.order) == 0 {
+		return 0, false
+	}
+	return c.order[0].executed, c.order[0].execKnown
 }
 
-// Mallocs returns the fleet's total heap-allocation delta (summed over
-// each shard's executing worker, one submission per shard) and whether
-// every accepted submission reported one. Fleet bench artifacts use it
-// so distributed runs carry real allocation counts instead of zeros.
+// Mallocs returns the default job's total heap-allocation delta (summed
+// over each shard's executing worker, one submission per shard) and
+// whether every accepted submission reported one. Fleet bench artifacts
+// use it so distributed runs carry real allocation counts instead of
+// zeros.
 func (c *Coordinator) Mallocs() (total int64, known bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.mallocs, c.mallocsKnown
+	if len(c.order) == 0 {
+		return 0, false
+	}
+	return c.order[0].mallocs, c.order[0].mallocsKnown
 }

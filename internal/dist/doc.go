@@ -1,43 +1,69 @@
 // Package dist is the distributed execution backend for scenario sweeps:
-// a coordinator/worker split over the shard envelope that internal/scenario
-// already treats as a complete wire format.
+// a multi-tenant job queue (coordinator) and job-agnostic workers split
+// over the shard envelope that internal/scenario already treats as a
+// complete wire format.
 //
-// A Coordinator owns a Plan — the spec, the effective sweep parameters
-// (seeds, window, base seed, sample selection), the shard count and the
-// sweep Fingerprint derived from all of them — and serves work units over
-// three HTTP endpoints:
+// A Coordinator owns a queue of jobs — each one planned sweep: the spec,
+// the effective sweep parameters (seeds, window, base seed, sample
+// selection), the shard count and the sweep Fingerprint derived from all
+// of them — and serves a versioned resource API:
 //
-//	POST /lease   a worker asks for work and receives either a lease
-//	              (shard coordinates + the full plan), a wait hint (all
-//	              shards are leased but not all submitted), or done
-//	POST /renew   a worker extends its lease while a shard is still
-//	              computing, so the TTL bounds crash-detection latency,
-//	              not shard duration
-//	POST /submit  a worker pushes back the shard's ShardResult envelope
-//	              under its lease ID; the coordinator validates the
-//	              envelope's framing and fingerprint before accepting it
-//	GET  /status  progress accounting for humans and scripts
+//	POST /v1/sweeps                    submit a sweep (spec + overrides);
+//	                                   answers the job, idempotently —
+//	                                   job IDs derive from the sweep
+//	                                   fingerprint and partition
+//	GET  /v1/sweeps                    list the queue
+//	GET  /v1/sweeps/{id}               one job's status and shard states
+//	GET  /v1/sweeps/{id}/events        SSE stream: every accepted shard
+//	                                   envelope (replayed, then live),
+//	                                   then one complete frame
+//	POST /v1/sweeps/{id}/leases        pull work from one job
+//	POST /v1/leases                    pull work fair-share across jobs
+//	POST /v1/leases/{lease}/renew      extend a lease while computing
+//	POST /v1/leases/{lease}/result     push back the shard's ShardResult
+//	                                   envelope; validated (framing,
+//	                                   fingerprint, shard coordinates)
+//	                                   before acceptance
+//	GET  /status                       progress accounting for humans and
+//	                                   scripts (whole queue + flat
+//	                                   default-job mirror)
 //
-// Leases expire: a worker that crashes mid-shard stops renewing its
-// claim, and after the lease TTL the coordinator re-issues the same shard
-// to the next worker that asks. Because sweeps are deterministic — trial
-// seeds derive from scenario content, never from placement — a re-executed
+// The pre-/v1 routes — POST /lease, /renew, /submit — remain as a compat
+// shim for one release, routed to the default (first-submitted) job.
+//
+// Leases are granted fair-share: the coordinator round-robins across
+// active jobs (lowest open shard within a job), so one tenant's
+// million-scenario matrix cannot starve another's quick sweep. Leases
+// expire: a worker that crashes mid-shard stops renewing its claim, and
+// after the lease TTL the coordinator re-issues the same shard to the
+// next worker that asks. Because sweeps are deterministic — trial seeds
+// derive from scenario content, never from placement — a re-executed
 // shard produces byte-identical results, so a stale submit racing a
-// re-lease is accepted idempotently rather than rejected: every writer of
-// a shard writes the same bytes.
+// re-lease is accepted idempotently rather than rejected: every writer
+// of a shard writes the same bytes.
 //
-// A Worker pulls a lease, recomputes the sweep fingerprint locally from
-// the leased spec and its own registry version (refusing the lease on
-// mismatch, which catches coordinator/worker version skew), runs the
-// ordinary Matrix.Sweep over the shard's index range — sharing a
-// content-addressed result Cache with colocated workers when configured —
-// and submits the envelope. When every shard has been submitted the
-// coordinator reassembles them with MergeShards into a report
-// byte-identical to a fresh serial run of the same sweep.
+// Jobs are resumable. With a state directory configured the coordinator
+// persists each job's plan and every accepted envelope; a restart
+// rescans the directory, revalidates each envelope exactly as a live
+// submit would (ReadShardResult framing plus fingerprint and shard
+// coordinates), and re-queues only the missing shards — completed work
+// is never re-executed.
 //
-// The protocol is testable hermetically: LoopbackClient wraps the
-// coordinator's http.Handler in an in-process http.Client, so the whole
-// lease/crash/re-lease/submit cycle runs in one process with no sockets.
-// cmd/goalsweep exposes the backend as "goalsweep serve" and "goalsweep
-// work".
+// A Worker pulls a lease (job-agnostic by default, pinnable to one job),
+// recomputes the sweep fingerprint locally from the leased spec and its
+// own registry version (refusing the lease on mismatch, which catches
+// coordinator/worker version skew), runs the ordinary Matrix.Sweep over
+// the shard's index range — sharing a content-addressed result Cache
+// with colocated workers when configured — and submits the envelope.
+// When every shard has been submitted the job's envelopes reassemble
+// with MergeShards into a report byte-identical to a fresh serial run of
+// the same sweep.
+//
+// Worker and the `goalsweep submit`/`watch` CLI verbs are built on the
+// same Client, and the protocol is testable hermetically: LoopbackClient
+// wraps the coordinator's http.Handler in an in-process http.Client, so
+// the whole submit/lease/crash/re-lease/result cycle runs in one process
+// with no sockets. cmd/goalsweep exposes the backend as "goalsweep
+// serve" (one-shot batch or -service), "goalsweep work", "goalsweep
+// submit" and "goalsweep watch".
 package dist

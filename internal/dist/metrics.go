@@ -4,30 +4,35 @@ import "repro/internal/obs"
 
 // Coordinator- and worker-layer metrics. Everything here is per-request
 // or per-shard, far off any hot path; the interesting properties are
-// the label sets (submit rejections carry a reason, liveness is
-// per-worker) and that one process can host both sides (loopback tests,
-// `goalsweep serve` with in-process workers) against the shared default
-// registry.
+// the label sets (lease and submit families carry the job ID so one
+// service's tenants are tellable apart, submit rejections carry a
+// reason, liveness is per-worker) and that one process can host both
+// sides (loopback tests, `goalsweep serve` with in-process workers)
+// against the shared default registry.
 var (
-	mLeasesGranted = obs.Default().Counter("goalsweep_coord_leases_granted_total",
-		"Shard leases issued to workers (including re-issues).")
+	mLeasesGranted = obs.Default().CounterVec("goalsweep_coord_leases_granted_total",
+		"Shard leases issued to workers (including re-issues), by job.", "job")
 	mLeasesRenewed = obs.Default().Counter("goalsweep_coord_leases_renewed_total",
 		"Lease renewals honored.")
-	mLeasesExpired = obs.Default().Counter("goalsweep_coord_leases_expired_total",
-		"Leases that expired and were re-issued to another worker.")
-	mSubmitsAccepted = obs.Default().Counter("goalsweep_coord_submits_accepted_total",
-		"Shard envelopes accepted and stored.")
-	mSubmitsDuplicate = obs.Default().Counter("goalsweep_coord_submits_duplicate_total",
-		"Straggler envelopes for already-complete shards, acknowledged idempotently.")
+	mLeasesExpired = obs.Default().CounterVec("goalsweep_coord_leases_expired_total",
+		"Leases that expired and were re-issued to another worker, by job.", "job")
+	mSubmitsAccepted = obs.Default().CounterVec("goalsweep_coord_submits_accepted_total",
+		"Shard envelopes accepted and stored, by job.", "job")
+	mSubmitsDuplicate = obs.Default().CounterVec("goalsweep_coord_submits_duplicate_total",
+		"Straggler envelopes for already-complete shards, acknowledged idempotently, by job.", "job")
 	mSubmitsRejected = obs.Default().CounterVec("goalsweep_coord_submits_rejected_total",
 		"Shard envelopes refused, by reason.", "reason")
-	mShardSeconds = obs.Default().Histogram("goalsweep_coord_shard_seconds",
-		"Lease-grant to accepted-submit latency per shard.", nil)
+	mShardSeconds = obs.Default().HistogramVec("goalsweep_coord_shard_seconds",
+		"Lease-grant to accepted-submit latency per shard, by job.", nil, "job")
 	mWorkerLastSeen = obs.Default().GaugeVec("goalsweep_coord_worker_last_seen_timestamp_seconds",
 		"Unix time the coordinator last heard from each worker.", "worker")
+	mJobsSubmitted = obs.Default().Counter("goalsweep_coord_jobs_submitted_total",
+		"Sweep jobs admitted into the queue (including recovered ones).")
+	mJobsActive = obs.Default().Gauge("goalsweep_coord_jobs_active",
+		"Queued jobs not yet complete.")
 
 	mPollWaits = obs.Default().Counter("goalsweep_worker_poll_waits_total",
-		"Lease polls answered wait (all shards claimed elsewhere).")
+		"Lease polls answered wait or idle (no grantable shard).")
 	mTransportRetries = obs.Default().Counter("goalsweep_worker_transport_retries_total",
 		"Lease/submit transport attempts that failed and were retried.")
 	mWorkerShards = obs.Default().Counter("goalsweep_worker_shards_completed_total",

@@ -22,15 +22,16 @@ import (
 // 100%. Deliberately not parallel: it asserts deltas of process-global
 // counters.
 func TestMetricsAcrossWorkerCrash(t *testing.T) {
-	granted0 := mLeasesGranted.Value()
-	expired0 := mLeasesExpired.Value()
-	accepted0 := mSubmitsAccepted.Value()
-	duplicate0 := mSubmitsDuplicate.Value()
+	clock := newFakeClock()
+	plan := builtinPlan(t, "quick", 3)
+	jobID := JobID(plan)
+	granted0 := mLeasesGranted.With(jobID).Value()
+	expired0 := mLeasesExpired.With(jobID).Value()
+	accepted0 := mSubmitsAccepted.With(jobID).Value()
+	duplicate0 := mSubmitsDuplicate.With(jobID).Value()
 	rejectedUnknown0 := mSubmitsRejected.With("unknown_lease").Value()
 	shards0 := mWorkerShards.Value()
 
-	clock := newFakeClock()
-	plan := builtinPlan(t, "quick", 3)
 	var events bytes.Buffer
 	coord, err := NewCoordinator(plan, CoordinatorConfig{
 		LeaseTTL: time.Minute,
@@ -102,16 +103,16 @@ func TestMetricsAcrossWorkerCrash(t *testing.T) {
 	// accepted envelope per shard, 1 duplicate, 1 rejection, 3 shards
 	// executed by this process's workers (the doomed "worker" never ran
 	// Worker.Run, so its straggler shard counts under runShard's caller).
-	if got := mLeasesGranted.Value() - granted0; got != 4 {
+	if got := mLeasesGranted.With(jobID).Value() - granted0; got != 4 {
 		t.Errorf("leases granted delta = %d, want 4", got)
 	}
-	if got := mLeasesExpired.Value() - expired0; got != 1 {
+	if got := mLeasesExpired.With(jobID).Value() - expired0; got != 1 {
 		t.Errorf("leases expired (re-issued) delta = %d, want 1", got)
 	}
-	if got := mSubmitsAccepted.Value() - accepted0; got != int64(plan.Shards) {
+	if got := mSubmitsAccepted.With(jobID).Value() - accepted0; got != int64(plan.Shards) {
 		t.Errorf("submits accepted delta = %d, want %d (shard count)", got, plan.Shards)
 	}
-	if got := mSubmitsDuplicate.Value() - duplicate0; got != 1 {
+	if got := mSubmitsDuplicate.With(jobID).Value() - duplicate0; got != 1 {
 		t.Errorf("duplicate straggler submits delta = %d, want 1", got)
 	}
 	if got := mSubmitsRejected.With("unknown_lease").Value() - rejectedUnknown0; got != 1 {

@@ -90,9 +90,15 @@ const (
 	// StatusWait means every remaining shard is leased to someone else;
 	// poll again — a lease may yet expire.
 	StatusWait = "wait"
-	// StatusDone means every shard has been submitted; the worker can
-	// exit.
+	// StatusDone means there is no work left and none can appear: the
+	// queue is sealed (batch mode) and every job is complete, or the
+	// asked-for job is complete. The worker can exit.
 	StatusDone = "done"
+	// StatusIdle means every job in the queue is complete but the queue
+	// is still accepting submissions (service mode): a worker may poll on
+	// or exit, its choice. The legacy /lease route never answers idle —
+	// it maps to wait for pre-/v1 workers.
+	StatusIdle = "idle"
 )
 
 // LeaseRequest is a worker's ask for work.
@@ -105,11 +111,15 @@ type LeaseRequest struct {
 // LeaseResponse answers a lease request; Status selects which fields are
 // meaningful.
 type LeaseResponse struct {
-	Protocol int            `json:"protocol"`
-	Status   string         `json:"status"`
-	LeaseID  string         `json:"leaseID,omitempty"`
-	Shard    scenario.Shard `json:"shard"`
-	Plan     *Plan          `json:"plan,omitempty"`
+	Protocol int    `json:"protocol"`
+	Status   string `json:"status"`
+	LeaseID  string `json:"leaseID,omitempty"`
+	// Job names the job the lease belongs to (StatusLease only). Legacy
+	// clients ignore the field; /v1 clients use it for accounting and
+	// event streams.
+	Job   string         `json:"job,omitempty"`
+	Shard scenario.Shard `json:"shard"`
+	Plan  *Plan          `json:"plan,omitempty"`
 	// TTLMs is the lease's lifetime in milliseconds (StatusLease only):
 	// the worker must submit or renew within it, and renews at a
 	// fraction of it while computing.
@@ -129,14 +139,59 @@ type RenewResponse struct {
 // SubmitResponse acknowledges an accepted envelope.
 type SubmitResponse struct {
 	Accepted bool `json:"accepted"`
-	// Done reports whether this submission completed the sweep.
+	// Done reports whether this submission completed the envelope's job.
 	Done bool `json:"done"`
 }
 
-// StatusResponse is the coordinator's progress accounting. Beyond the
-// aggregate counts it carries one entry per shard and per worker, so a
-// dashboard (or a curl) can watch the fleet converge without scraping
-// /metrics.
+// SweepRequest is the POST /v1/sweeps body: the same spec JSON the local
+// CLI takes, plus the execution overrides a -spec sweep would pass as
+// flags. Zero overrides mean the spec's defaults; Shards 0 asks the
+// coordinator to size the partition itself from worker count and the
+// observed per-shard latency (-shards auto).
+type SweepRequest struct {
+	Protocol   int            `json:"protocol"`
+	Spec       *scenario.Spec `json:"spec"`
+	Shards     int            `json:"shards,omitempty"`
+	Seeds      int            `json:"seeds,omitempty"`
+	Window     int            `json:"window,omitempty"`
+	BaseSeed   uint64         `json:"baseSeed,omitempty"`
+	SampleN    int            `json:"sampleN,omitempty"`
+	SampleSeed uint64         `json:"sampleSeed,omitempty"`
+}
+
+// SweepResponse answers a sweep submission. Job IDs are derived from the
+// sweep fingerprint and shard count, so resubmitting the same sweep
+// returns the existing job (Created false) instead of forking a duplicate.
+type SweepResponse struct {
+	Protocol int       `json:"protocol"`
+	Created  bool      `json:"created"`
+	Job      JobStatus `json:"job"`
+}
+
+// JobStatus is one job's progress accounting.
+type JobStatus struct {
+	ID          string `json:"id"`
+	Spec        string `json:"spec"`
+	Fingerprint string `json:"fingerprint"`
+	Shards      int    `json:"shards"`
+	Done        int    `json:"done"`
+	Leased      int    `json:"leased"`
+	Pending     int    `json:"pending"`
+	// Resumed counts shards restored from on-disk envelopes when the
+	// coordinator (re)started, rather than executed under this process.
+	Resumed  int  `json:"resumed,omitempty"`
+	Complete bool `json:"complete"`
+	// Progress is Done/Shards in [0,1].
+	Progress float64 `json:"progress"`
+	// ShardStates holds one entry per shard, in shard-index order; the
+	// job list (GET /v1/sweeps) omits it, the single-job view carries it.
+	ShardStates []ShardStatus `json:"shardStates,omitempty"`
+}
+
+// StatusResponse is the coordinator's progress accounting. Jobs carries
+// the whole queue; the flat single-sweep fields mirror the default
+// (first-submitted) job so pre-/v1 scripts keep reading the same shape
+// they always did.
 type StatusResponse struct {
 	Protocol    int    `json:"protocol"`
 	Spec        string `json:"spec"`
@@ -146,11 +201,21 @@ type StatusResponse struct {
 	Leased      int    `json:"leased"`
 	Pending     int    `json:"pending"`
 	Workers     int    `json:"workers"`
-	Complete    bool   `json:"complete"`
+	// Complete reports whether every job in the queue is complete (and at
+	// least one exists) — for a batch coordinator, exactly the old
+	// single-sweep meaning.
+	Complete bool `json:"complete"`
+	// Sealed reports batch mode: the queue accepts no further jobs and
+	// workers are told done (not idle) once everything is complete.
+	Sealed bool `json:"sealed"`
 
-	// Progress is Done/Shards in [0,1].
+	// Progress is Done/Shards in [0,1] for the default job.
 	Progress float64 `json:"progress"`
-	// ShardStates holds one entry per shard, in shard-index order.
+	// Jobs holds one entry per job in submission order, each with its
+	// shard states.
+	Jobs []JobStatus `json:"jobs"`
+	// ShardStates holds one entry per default-job shard, in shard-index
+	// order.
 	ShardStates []ShardStatus `json:"shardStates,omitempty"`
 	// WorkerStates holds one entry per known worker, sorted by ID.
 	WorkerStates []WorkerStatus `json:"workerStates,omitempty"`
@@ -175,4 +240,23 @@ type WorkerStatus struct {
 	// LastSeenMs is how long ago (milliseconds) the coordinator last
 	// heard from this worker.
 	LastSeenMs int64 `json:"lastSeenMs"`
+}
+
+// SSE event types on GET /v1/sweeps/{id}/events.
+const (
+	// EventShard carries one accepted shard envelope (the ShardResult
+	// JSON, compact) in its data field; the event ID is the shard index.
+	// Subscribing to a job replays every already-accepted shard first, in
+	// shard-index order, then streams the rest as they land.
+	EventShard = "shard"
+	// EventComplete closes a job's stream: every shard has been accepted.
+	// Its data is a CompleteEvent.
+	EventComplete = "complete"
+)
+
+// CompleteEvent is the data payload of an EventComplete frame.
+type CompleteEvent struct {
+	ID     string `json:"id"`
+	Spec   string `json:"spec"`
+	Shards int    `json:"shards"`
 }

@@ -1,11 +1,9 @@
 package dist
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"runtime"
@@ -22,7 +20,9 @@ var workerSeq atomic.Int64
 
 // Worker pulls shard leases from a coordinator, executes them through the
 // ordinary local sweep, and submits the resulting envelopes. The zero
-// value plus a Coordinator URL is a working configuration.
+// value plus a Coordinator URL is a working configuration. Workers are
+// job-agnostic by default: leases are pulled fair-share across every
+// active job; set Job to pin one.
 type Worker struct {
 	// Coordinator is the coordinator's base URL (http://host:port).
 	Coordinator string
@@ -49,6 +49,17 @@ type Worker struct {
 	// the process ID.
 	ID string
 
+	// Job, when non-empty, scopes the worker to one job ID: leases come
+	// from POST /v1/sweeps/{job}/leases and the worker exits when that
+	// job completes, even if the coordinator has other work.
+	Job string
+
+	// ExitOnIdle makes Run return once the coordinator answers
+	// StatusIdle — every queued job complete, queue still open. The
+	// default (false) keeps polling, the right posture for a standing
+	// fleet attached to a long-lived service.
+	ExitOnIdle bool
+
 	// Poll is the backoff between lease attempts while every shard is
 	// claimed elsewhere, and between transport-error retries; 0 means
 	// 500ms.
@@ -64,13 +75,15 @@ type Worker struct {
 	// lifecycle transition and transport retry (see internal/obs). Nil
 	// means silent.
 	Events *obs.Logger
+
+	api *Client // lazily built /v1 client
 }
 
-func (w *Worker) client() *http.Client {
-	if w.Client != nil {
-		return w.Client
+func (w *Worker) client() *Client {
+	if w.api == nil {
+		w.api = NewClient(w.Coordinator, w.Client)
 	}
-	return http.DefaultClient
+	return w.api
 }
 
 func (w *Worker) registry() *scenario.Registry {
@@ -96,7 +109,7 @@ func (w *Worker) effectiveParallel() int {
 }
 
 // Run leases, executes and submits shards until the coordinator reports
-// the sweep complete or the context ends. It returns the number of shards
+// the work done or the context ends. It returns the number of shards
 // this worker submitted.
 func (w *Worker) Run(ctx context.Context) (int, error) {
 	poll := w.Poll
@@ -134,6 +147,17 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 		switch lease.Status {
 		case StatusDone:
 			return completed, nil
+		case StatusIdle:
+			if w.ExitOnIdle {
+				return completed, nil
+			}
+			mPollWaits.Inc()
+			w.Events.Event(obs.LevelDebug, "lease.idle",
+				obs.String("worker", w.id()),
+				obs.Dur("poll", poll))
+			if err := sleep(ctx, poll); err != nil {
+				return completed, err
+			}
 		case StatusWait:
 			mPollWaits.Inc()
 			w.Events.Event(obs.LevelDebug, "lease.wait",
@@ -226,56 +250,20 @@ func (w *Worker) startRenewer(ctx context.Context, lease *LeaseResponse) (stop f
 
 // renew asks the coordinator to extend one lease.
 func (w *Worker) renew(ctx context.Context, leaseID string) (bool, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+"/renew?lease="+leaseID, nil)
+	rr, err := w.client().Renew(ctx, leaseID)
 	if err != nil {
 		return false, err
-	}
-	resp, err := w.client().Do(req)
-	if err != nil {
-		return false, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return false, httpError("renew", resp)
-	}
-	var rr RenewResponse
-	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
-		return false, fmt.Errorf("dist: decode renew response: %w", err)
 	}
 	return rr.Renewed, nil
 }
 
-// lease asks the coordinator for work.
+// lease asks the coordinator for work: scoped to w.Job when set,
+// fair-share otherwise.
 func (w *Worker) lease(ctx context.Context) (*LeaseResponse, error) {
-	body, err := json.Marshal(LeaseRequest{
-		Protocol: ProtocolVersion,
+	return w.client().Lease(ctx, w.Job, LeaseRequest{
 		Worker:   w.id(),
 		Parallel: w.effectiveParallel(),
 	})
-	if err != nil {
-		return nil, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+"/lease", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.client().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("lease", resp)
-	}
-	var lease LeaseResponse
-	if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
-		return nil, fmt.Errorf("dist: decode lease response: %w", err)
-	}
-	if lease.Protocol != ProtocolVersion {
-		return nil, fmt.Errorf("dist: coordinator speaks protocol %d, want %d", lease.Protocol, ProtocolVersion)
-	}
-	return &lease, nil
 }
 
 // runShard executes one leased shard through the local sweep and wraps
@@ -361,30 +349,22 @@ func (w *Worker) runShard(lease *LeaseResponse) (*scenario.ShardResult, error) {
 
 // submit pushes the envelope back under its lease, retrying transport
 // failures; protocol-level rejections (4xx/5xx) are fatal. The executed
-// query parameter reports how many trials this shard actually ran (a
-// shared warm cache can make it less than the shard's trial total —
-// that accounting is json:"-" in the envelope, so it travels here), and
+// count reports how many trials this shard actually ran (a shared warm
+// cache can make it less than the shard's trial total — that accounting
+// is json:"-" in the envelope, so it travels as a query parameter), and
 // mallocs carries the worker's heap-allocation delta the same way; the
 // coordinator sums both to decide whether a throughput artifact would
 // be honest and what allocation count it should carry.
 func (w *Worker) submit(ctx context.Context, leaseID string, sr *scenario.ShardResult, retries int, poll time.Duration) error {
-	var buf bytes.Buffer
-	if err := sr.Write(&buf); err != nil {
-		return err
-	}
 	for attempt := 1; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			fmt.Sprintf("%s/submit?lease=%s&executed=%d&mallocs=%d",
-				w.Coordinator, leaseID, sr.Summary.ExecutedTrials, sr.Mallocs),
-			bytes.NewReader(buf.Bytes()))
-		if err != nil {
-			return err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := w.client().Do(req)
+		ack, err := w.client().SubmitResult(ctx, leaseID, sr, int64(sr.Summary.ExecutedTrials), sr.Mallocs)
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return ctxErr
+			}
+			var te *TransportError
+			if !errors.As(err, &te) {
+				return err
 			}
 			mTransportRetries.Inc()
 			if attempt > retries {
@@ -401,28 +381,9 @@ func (w *Worker) submit(ctx context.Context, leaseID string, sr *scenario.ShardR
 			}
 			continue
 		}
-		func() {
-			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				err = httpError("submit", resp)
-				return
-			}
-			var ack SubmitResponse
-			if derr := json.NewDecoder(resp.Body).Decode(&ack); derr != nil {
-				err = fmt.Errorf("dist: decode submit response: %w", derr)
-				return
-			}
-			if !ack.Accepted {
-				err = fmt.Errorf("dist: coordinator did not accept shard %s", sr.Shard)
-			}
-		}()
-		return err
+		if !ack.Accepted {
+			return fmt.Errorf("dist: coordinator did not accept shard %s", sr.Shard)
+		}
+		return nil
 	}
-}
-
-// httpError folds a non-200 response into an error carrying the
-// coordinator's message.
-func httpError(op string, resp *http.Response) error {
-	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	return fmt.Errorf("dist: %s: coordinator answered %s: %s", op, resp.Status, bytes.TrimSpace(msg))
 }

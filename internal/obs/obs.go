@@ -297,6 +297,35 @@ func (v *CounterVec) With(value string) *Counter {
 	return c.(*Counter)
 }
 
+// HistogramVec is a histogram family keyed by one label. Children share
+// the family's bucket bounds, so the exposition stays comparable across
+// label values.
+type HistogramVec struct {
+	f      *family
+	bounds []float64
+}
+
+// HistogramVec registers (or returns the existing) histogram family
+// labeled by the given label name, over the given bounds (nil means
+// DefBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, label string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, kindHistogram, label), bounds: bounds}
+}
+
+// With returns the histogram for one label value, creating it on first
+// use. Like CounterVec.With, the lookup is a mutex-guarded map hit:
+// call sites that observe in a loop hold the returned *Histogram.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	h, ok := v.f.children[value]
+	if !ok {
+		h = NewHistogram(v.bounds)
+		v.f.children[value] = h
+	}
+	return h.(*Histogram)
+}
+
 // GaugeVec is a gauge family keyed by one label.
 type GaugeVec struct{ f *family }
 

@@ -42,6 +42,36 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("app_job_seconds", "Per-job latency.", []float64{1, 10}, "job")
+	if v.With("a") != v.With("a") {
+		t.Fatal("same label returned a different child histogram")
+	}
+	v.With("a").Observe(0.5)
+	v.With("a").Observe(5)
+	v.With("b").Observe(100)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"# TYPE app_job_seconds histogram",
+		`app_job_seconds_bucket{job="a",le="1"} 1`,
+		`app_job_seconds_bucket{job="a",le="+Inf"} 2`,
+		`app_job_seconds_sum{job="a"} 5.5`,
+		`app_job_seconds_count{job="a"} 2`,
+		`app_job_seconds_bucket{job="b",le="10"} 0`,
+		`app_job_seconds_count{job="b"} 1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, got)
+		}
+	}
+}
+
 func TestRegistryIdempotent(t *testing.T) {
 	r := NewRegistry()
 	a := r.Counter("x_total", "help")
