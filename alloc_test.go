@@ -10,9 +10,11 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/dialect"
+	"repro/internal/fst"
 	"repro/internal/goal"
 	"repro/internal/goals/control"
 	"repro/internal/goals/delegation"
+	"repro/internal/goals/fsm"
 	"repro/internal/goals/learning"
 	"repro/internal/goals/printing"
 	"repro/internal/goals/transfer"
@@ -35,9 +37,10 @@ type goalSetup struct {
 	rounds int
 }
 
-// stockSetups covers all six stock goals with protocol-faithful parties:
-// a matching candidate against its class server, so executions reach and
-// hold the goal's steady state (the regime sweeps spend their rounds in).
+// stockSetups covers the six stock goals plus a generated fsm goal with
+// protocol-faithful parties: a matching candidate against its class
+// server, so executions reach and hold the goal's steady state (the
+// regime sweeps spend their rounds in).
 func stockSetups(t testing.TB) []goalSetup {
 	t.Helper()
 	printFam, err := dialect.NewWordFamily(printing.Vocabulary(), 4)
@@ -56,12 +59,31 @@ func stockSetups(t testing.TB) []goalSetup {
 	if err != nil {
 		t.Fatal(err)
 	}
+	fsmFam, err := dialect.NewWordFamily(fsm.Vocabulary(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	printGoal := &printing.Goal{}
 	transGoal := &transfer.Goal{}
 	ctrlGoal := &control.Goal{}
 	learnGoal := &learning.Goal{M: 32}
 	treasGoal := &treasure.Goal{}
 	delGoal := &delegation.Goal{}
+	// A feasible, forgiving generated machine: press 1 to move to state
+	// 1 silently, press 0 there to emit the target.
+	fsmSp := fst.Space{NumStates: 2, NumIn: 2, NumOut: 2}
+	fsmIdx, err := fsmSp.Index(&fst.Machine{
+		NumStates: 2, NumIn: 2, NumOut: 2,
+		Next: []int{0, 1, 1, 0},
+		Out:  []int{0, 0, 1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsmGoal, err := fsm.New(fsmSp, fsmIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return []goalSetup{
 		{
 			name:   "treasure",
@@ -101,6 +123,14 @@ func stockSetups(t testing.TB) []goalSetup {
 			user:   func() comm.Strategy { return &learning.ThresholdUser{Concept: 7} },
 			server: func() comm.Strategy { return server.Obstinate() },
 			world:  func() goal.World { return learnGoal.NewWorld(goal.Env{Choice: 7}) },
+			rounds: 1000,
+		},
+		{
+			name:   "fsm",
+			g:      fsmGoal,
+			user:   func() comm.Strategy { return &fsm.Candidate{D: fsmFam.Dialect(1), G: fsmGoal} },
+			server: func() comm.Strategy { return server.Dialected(&fsm.Server{G: fsmGoal}, fsmFam.Dialect(1)) },
+			world:  func() goal.World { return fsmGoal.NewWorld(goal.Env{}) },
 			rounds: 1000,
 		},
 		{
@@ -188,6 +218,10 @@ var allocBudgets = map[string]struct{ off, window float64 }{
 	"control":    {off: 4, window: 6},
 	"learning":   {off: 7, window: 9},
 	"delegation": {off: 4, window: 6},
+	// Generated fsm goals precompute every message and snapshot at
+	// construction, so their warm loop sits at the engine floor like the
+	// leanest stock goals.
+	"fsm": {off: 4, window: 6},
 }
 
 // TestSteadyStateAllocBudgets is the alloc-gated benchmark in test form:

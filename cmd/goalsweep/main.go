@@ -123,7 +123,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (retEr
 	fs := flag.NewFlagSet("goalsweep", flag.ContinueOnError)
 	var (
 		specPath    = fs.String("spec", "", "JSON scenario spec file")
-		builtin     = fs.String("builtin", "", "built-in spec name (default, quick); ignored when -spec is set")
+		builtin     = fs.String("builtin", "", "built-in spec name (default, quick, adversarial, family); ignored when -spec is set")
 		sample      = fs.Int("sample", 0, "sweep only a deterministic random subset of this many scenarios (0 = all)")
 		sampleSeed  = fs.Uint64("sampleseed", 1, "seed for -sample subset selection")
 		parallel    = fs.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
@@ -181,6 +181,9 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (retEr
 	if err != nil {
 		return err
 	}
+	// A composed spec enumerates (and fingerprints) in canonical form;
+	// adopt it so the report, envelope and fingerprint agree.
+	spec = m.Spec()
 
 	cfg := scenario.SweepConfig{
 		Parallel:    *parallel,
@@ -678,8 +681,12 @@ func g(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
 
 func writeCSV(out io.Writer, spec *scenario.Spec, stats []*scenario.Stats) error {
 	w := csv.NewWriter(out)
+	// Axis columns come from the union across blocks: scenarios of a
+	// composed spec carry different axis sets, so cells are looked up by
+	// name and an axis a scenario's block omits renders empty.
+	axes := spec.AxesUnion()
 	header := []string{"id"}
-	for _, ax := range spec.Axes {
+	for _, ax := range axes {
 		header = append(header, ax.Name)
 	}
 	header = append(header,
@@ -691,8 +698,9 @@ func writeCSV(out io.Writer, spec *scenario.Spec, stats []*scenario.Stats) error
 	}
 	for _, st := range stats {
 		row := []string{st.ID}
-		for _, av := range st.Axes {
-			row = append(row, av.Value)
+		for _, ax := range axes {
+			v, _ := st.Axis(ax.Name)
+			row = append(row, v)
 		}
 		row = append(row,
 			strconv.Itoa(st.Trials), strconv.Itoa(st.Errors),
@@ -714,8 +722,10 @@ func writeCSV(out io.Writer, spec *scenario.Spec, stats []*scenario.Stats) error
 func writeTable(out io.Writer, m *scenario.Matrix, spec *scenario.Spec,
 	sum *scenario.Summary, stats []*scenario.Stats, selected int64) error {
 	var varying []string
-	for _, ax := range spec.Axes {
-		if len(ax.Values) > 1 {
+	for _, ax := range spec.AxesUnion() {
+		// An axis varies when it has several values, or when some block
+		// omits it (those scenarios hold it at the default).
+		if len(ax.Values) > 1 || !ax.Everywhere {
 			varying = append(varying, ax.Name)
 		}
 	}
@@ -763,7 +773,7 @@ func benchPerGoal(specPath, builtin string, filters filterFlags, spec *scenario.
 		return nil, nil
 	}
 	var goals []string
-	for _, ax := range spec.Axes {
+	for _, ax := range spec.AxesUnion() {
 		if ax.Name == "goal" {
 			goals = ax.Values
 		}

@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// familySpec returns the composed family builtin: a generated fsm
+// machine space plus a stock-goal block, over 130,000 scenarios.
+func familySpec(t *testing.T) *scenario.Spec {
+	t.Helper()
+	spec, err := scenario.BuiltinSpec("family")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestFamilySpecEnumeratesLazily pins the scale acceptance criterion:
+// the composed family builtin holds over 10^5 scenarios, and planning a
+// distributed sweep over it — fingerprint, sharding, sampling — touches
+// only the scenarios it needs, so it stays fast enough to sit in a unit
+// test.
+func TestFamilySpecEnumeratesLazily(t *testing.T) {
+	t.Parallel()
+
+	spec := familySpec(t)
+	m, err := scenario.NewMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() < 100_000 {
+		t.Fatalf("family spec enumerates %d scenarios, want >= 100000", m.Size())
+	}
+	// Decoding the far end of the space is O(1), not O(Size).
+	first, last := m.At(0), m.At(m.Size()-1)
+	if first.ID() == last.ID() {
+		t.Fatal("first and last scenario share an ID")
+	}
+	// A sampled plan over the full space selects exactly n indices.
+	plan, err := NewPlan(spec, scenario.Builtin().Version(), scenario.SweepConfig{}, 3, 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Selection(m); len(got) != 24 {
+		t.Fatalf("sampled selection has %d indices, want 24", len(got))
+	}
+}
+
+// TestFamilySweepDistributedByteIdentical drives a sampled slice of the
+// 130k-scenario family builtin through the full service path — submit,
+// concurrent workers, merge — and requires the merged report to be
+// byte-identical to a fresh serial run of the same selection.
+func TestFamilySweepDistributedByteIdentical(t *testing.T) {
+	t.Parallel()
+
+	svc, err := NewService(CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := loopbackAPI(svc)
+	ctx := context.Background()
+	const sampleN, sampleSeed = 24, 7
+	created, err := api.CreateSweep(ctx, SweepRequest{
+		Spec: familySpec(t), Shards: 3, SampleN: sampleN, SampleSeed: sampleSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created.Created {
+		t.Fatalf("family sweep not created: %+v", created)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &Worker{Coordinator: "http://coordinator", Client: LoopbackClient(svc),
+				ID: "w" + strconv.Itoa(i), Poll: time.Millisecond, ExitOnIdle: true}
+			_, errs[i] = w.Run(context.Background())
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	stats, sum, err := svc.JobMerged(created.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(familySpec(t), scenario.Builtin().Version(),
+		scenario.SweepConfig{}, 3, sampleN, sampleSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marshalReport(t, stats, sum), serialReport(t, plan); got != want {
+		t.Fatal("distributed family sweep differs from fresh serial run")
+	}
+	if sum.Scenarios != sampleN {
+		t.Fatalf("merged report covers %d scenarios, want the %d sampled", sum.Scenarios, sampleN)
+	}
+}

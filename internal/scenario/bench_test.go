@@ -25,3 +25,30 @@ func BenchmarkSweep(b *testing.B) {
 	}
 	b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "rounds/s")
 }
+
+// BenchmarkAdversarialSweep measures throughput with the full adversary
+// stack engaged — Byzantine corruption, misleading feedback and dialect
+// drift over the composed adversarial builtin. CI additionally tracks
+// this matrix as a BENCH artifact gated by benchcmp -maxallocgrow, so
+// an allocation creeping into the wrapper hot path fails the gate.
+func BenchmarkAdversarialSweep(b *testing.B) {
+	spec, err := BuiltinSpec("adversarial")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMatrix(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rounds int64
+	for i := 0; i < b.N; i++ {
+		sum, err := m.Sweep(nil, SweepConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += sum.TotalRounds
+	}
+	b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "rounds/s")
+}

@@ -7,10 +7,19 @@ import (
 
 // BuiltinSpec returns a copy of the named built-in scenario spec.
 //
-//	default  the stock cross-product: every built-in goal crossed with
-//	         class sizes, best/worst/obstinate servers, noise levels,
-//	         slowness and sensing patience — 288 scenarios
-//	quick    a reduced slice of the same axes for smoke runs
+//	default      the stock cross-product: every built-in goal crossed
+//	             with class sizes, best/worst/obstinate servers, noise
+//	             levels, slowness and sensing patience — 288 scenarios
+//	quick        a reduced slice of the same axes for smoke runs
+//	adversarial  a composed spec exercising the adversary wrappers:
+//	             dialect goals under byzantine/mislead/drift, treasure
+//	             under byzantine/mislead (no dialect to drift), and a
+//	             slice of the fsm family — per-family blocks carry only
+//	             the axes their goals accept
+//	family       a composed spec sweeping a whole generated fsm machine
+//	             space (2x3x2, 4096 machines) under adversarial axes plus
+//	             a stock-goal block — over 130,000 scenarios, enumerated
+//	             lazily; sweep it sampled or sharded
 func BuiltinSpec(name string) (*Spec, error) {
 	switch name {
 	case "default":
@@ -43,6 +52,80 @@ func BuiltinSpec(name string) (*Spec, error) {
 			BaseSeed: 1,
 			Window:   10,
 		}, nil
+	case "adversarial":
+		return &Spec{
+			Name: "adversarial",
+			Blocks: []Block{
+				// Dialect goals accept the full adversary surface,
+				// including Markov-switching dialect drift.
+				{Axes: []Axis{
+					{Name: "goal", Values: []string{"control", "printing", "transfer"}},
+					{Name: "class", Values: Ints(4)},
+					{Name: "server", Values: []string{"0", "-1"}},
+					{Name: "byzantine", Values: Ints(0, 4)},
+					{Name: "mislead", Values: Floats(0, 0.25)},
+					{Name: "drift", Values: Floats(0, 0.25)},
+					{Name: "rounds", Values: Ints(600)},
+				}},
+				// Treasure servers share one language — no drift axis.
+				{Axes: []Axis{
+					{Name: "goal", Values: []string{"treasure"}},
+					{Name: "class", Values: Ints(4)},
+					{Name: "server", Values: []string{"0", "-1"}},
+					{Name: "byzantine", Values: Ints(0, 4)},
+					{Name: "mislead", Values: Floats(0, 0.25)},
+					{Name: "rounds", Values: Ints(600)},
+				}},
+				// A slice of the generated fsm family; space/machine are
+				// axes only this block carries.
+				{Axes: []Axis{
+					{Name: "goal", Values: []string{"fsm"}},
+					{Name: "space", Values: []string{"2x2x2"}},
+					{Name: "machine", Values: Ints(1, 6, 27)},
+					{Name: "class", Values: Ints(4)},
+					{Name: "server", Values: []string{"0", "-1"}},
+					{Name: "drift", Values: Floats(0, 0.25)},
+					{Name: "rounds", Values: Ints(600)},
+				}},
+			},
+			Seeds:    2,
+			BaseSeed: 1,
+			Window:   10,
+		}, nil
+	case "family":
+		return &Spec{
+			Name: "family",
+			Blocks: []Block{
+				// Every machine of the 2x3x2 space (4096 of them) under
+				// the adversarial axes — 131,072 scenarios in this block
+				// alone. The matrix decodes scenarios lazily, so listing,
+				// sampling and sharding stay cheap.
+				{Axes: []Axis{
+					{Name: "goal", Values: []string{"fsm"}},
+					{Name: "space", Values: []string{"2x3x2"}},
+					{Name: "machine", Values: IntRange(0, 4095)},
+					{Name: "class", Values: Ints(4)},
+					{Name: "server", Values: []string{"0", "-1"}},
+					{Name: "drift", Values: Floats(0, 0.25)},
+					{Name: "byzantine", Values: Ints(0, 2)},
+					{Name: "mislead", Values: Floats(0, 0.25)},
+					{Name: "noise", Values: Floats(0, 0.1)},
+					{Name: "rounds", Values: Ints(400)},
+				}},
+				// A stock-goal slice rides along in the same sweep.
+				{Axes: []Axis{
+					{Name: "goal", Values: []string{"control", "printing", "transfer"}},
+					{Name: "class", Values: Ints(4, 8)},
+					{Name: "server", Values: []string{"0", "-1"}},
+					{Name: "byzantine", Values: Ints(0, 2, 4)},
+					{Name: "mislead", Values: Floats(0, 0.1, 0.25)},
+					{Name: "rounds", Values: Ints(400)},
+				}},
+			},
+			Seeds:    1,
+			BaseSeed: 1,
+			Window:   10,
+		}, nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown built-in spec %q (have: %v)", name, BuiltinSpecNames())
 	}
@@ -50,7 +133,7 @@ func BuiltinSpec(name string) (*Spec, error) {
 
 // BuiltinSpecNames lists the built-in spec names.
 func BuiltinSpecNames() []string {
-	names := []string{"default", "quick"}
+	names := []string{"adversarial", "default", "family", "quick"}
 	sort.Strings(names)
 	return names
 }

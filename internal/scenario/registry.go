@@ -10,6 +10,7 @@ import (
 	"repro/internal/enumerate"
 	"repro/internal/goal"
 	"repro/internal/goals/control"
+	"repro/internal/goals/fsm"
 	"repro/internal/goals/printing"
 	"repro/internal/goals/transfer"
 	"repro/internal/goals/treasure"
@@ -37,25 +38,42 @@ import (
 //	          user over a shuffled enumeration, or "oracle" for the
 //	          candidate matching the server index
 //	rounds    execution horizon (default 0 = the engine default)
+//	byzantine corrupted-round budget of the Byzantine adversary wrapper
+//	          (default 0 = honest)
+//	mislead   per-round probability the server suppresses its action
+//	          while claiming past progress (default 0 = honest)
+//	drift     per-round probability the server re-draws its dialect —
+//	          Markov-switching dialects (default 0 = fixed dialect;
+//	          only dialect-class goals accept it)
+//	space     fsm goals only: machine space as "NxAxB" (states x inputs
+//	          x outputs)
+//	machine   fsm goals only: machine index within the space
 var knownAxes = map[string]bool{
 	"goal": true, "class": true, "server": true, "param": true,
 	"env": true, "patience": true, "noise": true, "delay": true,
 	"slow": true, "user": true, "rounds": true,
+	"byzantine": true, "mislead": true, "drift": true,
+	"space": true, "machine": true,
 }
 
 // Axes holds the parsed values of the registry's common axes, handed to
 // goal builders so they construct families and sensing once.
 type Axes struct {
-	Class    int
-	Param    int
-	Patience int
-	Env      int
-	Rounds   int
-	Delay    int
-	Slow     int
-	Noise    float64
-	Server   string
-	User     string
+	Class     int
+	Param     int
+	Patience  int
+	Env       int
+	Rounds    int
+	Delay     int
+	Slow      int
+	Byzantine int
+	Noise     float64
+	Mislead   float64
+	Drift     float64
+	Server    string
+	User      string
+	Space     string
+	Machine   string
 }
 
 // Parts is a goal builder's output: everything goal-specific the registry
@@ -73,8 +91,14 @@ type Parts struct {
 	Sense func() sensing.Sense
 
 	// Member instantiates the i-th server class member (before the
-	// transform stack is applied).
+	// adversary and transform stacks are applied).
 	Member func(i int) comm.Strategy
+
+	// Drift instantiates the i-th member with a Markov-switching dialect
+	// of the given per-round switch probability, replacing Member when
+	// the drift axis is positive. Nil means the goal's class has no
+	// dialect to drift — such goals reject a positive drift axis.
+	Drift func(i int, p float64) comm.Strategy
 }
 
 // Builder resolves the goal-specific parts of a scenario.
@@ -126,15 +150,31 @@ func (r *Registry) Version() string { return r.version }
 func (r *Registry) SetVersion(v string) { r.version = v }
 
 // builtinVersion keys the stock registry's cache entries; bump it when
-// any builtin binding changes behavior.
+// any builtin binding changes behavior. The fsm family carries its own
+// version (fsm.FamilyVersion), composed in below, so a semantic change
+// to generated goals invalidates cached aggregates without touching the
+// stock goals' identity — the registry analogue of a versioned
+// sub-registry.
 const builtinVersion = "builtin/1"
 
-// Builtin returns a fresh registry of the stock goals: printing, treasure,
-// transfer and control, each over its standard dialect class and stock
-// sensing function.
+// Builtin returns a fresh registry of the stock goals — printing,
+// treasure, transfer and control over their standard dialect classes and
+// stock sensing — plus the generated fsm goal family (one goal per
+// machine of a declared fst space, selected by the space/machine axes).
 func Builtin() *Registry {
 	r := NewRegistry()
+	// The stock goals predate the generated-family axes; a spec that sets
+	// them on a stock goal is a mistake, not a default.
+	fsmAxes := func(name string, ax Axes) error {
+		if ax.Space != "" || ax.Machine != "" {
+			return fmt.Errorf("%s has no space/machine axes", name)
+		}
+		return nil
+	}
 	r.Register("printing", func(ax Axes) (*Parts, error) {
+		if err := fsmAxes("printing", ax); err != nil {
+			return nil, err
+		}
 		fam, err := dialect.NewWordFamily(printing.Vocabulary(), ax.Class)
 		if err != nil {
 			return nil, err
@@ -146,9 +186,15 @@ func Builtin() *Registry {
 			Member: func(i int) comm.Strategy {
 				return server.Dialected(&printing.Server{}, fam.Dialect(i))
 			},
+			Drift: func(i int, p float64) comm.Strategy {
+				return server.DriftingDialected(&printing.Server{}, fam, i, p)
+			},
 		}, nil
 	})
 	r.Register("treasure", func(ax Axes) (*Parts, error) {
+		if err := fsmAxes("treasure", ax); err != nil {
+			return nil, err
+		}
 		if ax.Param != 0 {
 			return nil, fmt.Errorf("treasure has no param axis (got %d)", ax.Param)
 		}
@@ -159,9 +205,14 @@ func Builtin() *Registry {
 			Member: func(i int) comm.Strategy {
 				return &treasure.Server{Secret: i}
 			},
+			// Password servers share one language; there is no dialect
+			// to drift, so Drift stays nil and drift > 0 is rejected.
 		}, nil
 	})
 	r.Register("transfer", func(ax Axes) (*Parts, error) {
+		if err := fsmAxes("transfer", ax); err != nil {
+			return nil, err
+		}
 		fam, err := dialect.NewWordFamily(transfer.Vocabulary(), ax.Class)
 		if err != nil {
 			return nil, err
@@ -173,9 +224,15 @@ func Builtin() *Registry {
 			Member: func(i int) comm.Strategy {
 				return server.Dialected(&transfer.Server{}, fam.Dialect(i))
 			},
+			Drift: func(i int, p float64) comm.Strategy {
+				return server.DriftingDialected(&transfer.Server{}, fam, i, p)
+			},
 		}, nil
 	})
 	r.Register("control", func(ax Axes) (*Parts, error) {
+		if err := fsmAxes("control", ax); err != nil {
+			return nil, err
+		}
 		fam, err := control.NewUnitsFamily(ax.Class)
 		if err != nil {
 			return nil, err
@@ -187,10 +244,54 @@ func Builtin() *Registry {
 			Member: func(i int) comm.Strategy {
 				return server.Dialected(&control.Server{}, fam.Dialect(i))
 			},
+			Drift: func(i int, p float64) comm.Strategy {
+				return server.DriftingDialected(&control.Server{}, fam, i, p)
+			},
 		}, nil
 	})
-	// Set last: Register resets the version.
-	r.version = builtinVersion
+	r.Register("fsm", func(ax Axes) (*Parts, error) {
+		if ax.Param != 0 {
+			return nil, fmt.Errorf("fsm has no param axis (got %d)", ax.Param)
+		}
+		spaceStr := ax.Space
+		if spaceStr == "" {
+			spaceStr = "2x2x2"
+		}
+		sp, err := fsm.ParseSpace(spaceStr)
+		if err != nil {
+			return nil, err
+		}
+		var idx uint64
+		if ax.Machine != "" {
+			idx, err = strconv.ParseUint(ax.Machine, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("machine %q is not an unsigned integer", ax.Machine)
+			}
+		}
+		g, err := fsm.New(sp, idx)
+		if err != nil {
+			return nil, err
+		}
+		fam, err := dialect.NewWordFamily(fsm.Vocabulary(), ax.Class)
+		if err != nil {
+			return nil, err
+		}
+		return &Parts{
+			Goal:  g,
+			Enum:  g.Enum(fam),
+			Sense: func() sensing.Sense { return fsm.Sense(ax.Patience) },
+			Member: func(i int) comm.Strategy {
+				return server.Dialected(&fsm.Server{G: g}, fam.Dialect(i))
+			},
+			Drift: func(i int, p float64) comm.Strategy {
+				return server.DriftingDialected(&fsm.Server{G: g}, fam, i, p)
+			},
+		}, nil
+	})
+	// Set last: Register resets the version. The fsm family's own version
+	// rides along so its semantic bumps invalidate exactly the cached
+	// aggregates that depend on generated-goal bindings.
+	r.version = builtinVersion + "+" + fsm.FamilyVersion
 	return r
 }
 
@@ -199,7 +300,7 @@ func parseAxes(sc *Scenario) (Axes, error) {
 	var ax Axes
 	for _, av := range sc.Values {
 		if !knownAxes[av.Name] {
-			return ax, fmt.Errorf("scenario: unknown axis %q (known: goal class server param env patience noise delay slow user rounds)", av.Name)
+			return ax, fmt.Errorf("scenario: unknown axis %q (known: goal class server param env patience noise delay slow user rounds byzantine mislead drift space machine)", av.Name)
 		}
 	}
 	var err error
@@ -233,8 +334,28 @@ func parseAxes(sc *Scenario) (Axes, error) {
 	if ax.Noise < 0 || ax.Noise > 1 {
 		return ax, fmt.Errorf("scenario: noise %g outside [0,1]", ax.Noise)
 	}
+	if ax.Byzantine, err = sc.Int("byzantine", 0); err != nil {
+		return ax, err
+	}
+	if ax.Byzantine < 0 {
+		return ax, fmt.Errorf("scenario: byzantine budget %d < 0", ax.Byzantine)
+	}
+	if ax.Mislead, err = sc.Float("mislead", 0); err != nil {
+		return ax, err
+	}
+	if ax.Mislead < 0 || ax.Mislead > 1 {
+		return ax, fmt.Errorf("scenario: mislead %g outside [0,1]", ax.Mislead)
+	}
+	if ax.Drift, err = sc.Float("drift", 0); err != nil {
+		return ax, err
+	}
+	if ax.Drift < 0 || ax.Drift > 1 {
+		return ax, fmt.Errorf("scenario: drift %g outside [0,1]", ax.Drift)
+	}
 	ax.Server = sc.Str("server", "-1")
 	ax.User = sc.Str("user", "universal")
+	ax.Space = sc.Str("space", "")
+	ax.Machine = sc.Str("machine", "")
 	return ax, nil
 }
 
@@ -259,13 +380,20 @@ func (r *Registry) Bind(sc *Scenario) (*Binding, error) {
 	}
 
 	// Resolve the server: a class member index (negative counts from the
-	// end) wrapped in the declared transform stack, or the obstinate
-	// probe.
+	// end) — or the obstinate probe — wrapped first in the declared
+	// adversary (Byzantine, then misleading; drift replaces the member's
+	// fixed dialect), then in the declared transform stack.
 	stack := server.StackSpec{Slow: ax.Slow, Delay: ax.Delay, Noise: ax.Noise}
+	adv := server.AdversarySpec{Byzantine: ax.Byzantine, Mislead: ax.Mislead}
 	memberIdx := -1
 	var mkServer func() comm.Strategy
 	if ax.Server == "obstinate" {
-		mkServer = func() comm.Strategy { return server.Stack(server.Obstinate(), stack) }
+		if ax.Drift > 0 {
+			return nil, fmt.Errorf("scenario: obstinate server has no dialect to drift")
+		}
+		mkServer = func() comm.Strategy {
+			return server.Stack(server.Adversary(server.Obstinate(), adv), stack)
+		}
 	} else {
 		idx, err := strconv.Atoi(ax.Server)
 		if err != nil {
@@ -278,7 +406,17 @@ func (r *Registry) Bind(sc *Scenario) (*Binding, error) {
 			return nil, fmt.Errorf("scenario: server index %s outside class of size %d", ax.Server, ax.Class)
 		}
 		memberIdx = idx
-		mkServer = func() comm.Strategy { return server.Stack(parts.Member(idx), stack) }
+		member := parts.Member
+		if ax.Drift > 0 {
+			if parts.Drift == nil {
+				return nil, fmt.Errorf("scenario: goal %q has no dialect to drift", goalName)
+			}
+			drift := ax.Drift
+			member = func(i int) comm.Strategy { return parts.Drift(i, drift) }
+		}
+		mkServer = func() comm.Strategy {
+			return server.Stack(server.Adversary(member(idx), adv), stack)
+		}
 	}
 
 	// Resolve the user strategy.

@@ -93,22 +93,36 @@ func (sh Shard) Indices(m *Matrix, sample []int64) []int64 {
 
 // Fingerprint is a stable hex digest of everything that determines a
 // sweep's result stream: the spec content (name plus axes with their
-// values in enumeration order — order matters, it fixes the index
-// mapping), the registry version the scenarios are bound under (see
-// Registry.Version), the effective seeds/window/base-seed, and the
+// values in enumeration order — order matters for flat specs, it fixes
+// the index mapping), the registry version the scenarios are bound under
+// (see Registry.Version), the effective seeds/window/base-seed, and the
 // sample selection (n = 0 means the full enumeration and ignores the
-// sample seed). Two runs that agree on these inputs produce
-// byte-identical reports, so the fingerprint keys result caches across
-// CI runs and refuses merges of shards drawn from different sweeps. All
-// fields are length- or newline-delimited, keeping the encoding
-// injective.
+// sample seed). Composed specs are canonicalized first (Spec.Canonical),
+// the same normalization Matrix enumerates under — so any authored
+// ordering of the same composition fingerprints identically, and a
+// composition that collapses to a single block shares its fingerprint
+// with the equivalent flat spec. Two runs that agree on these inputs
+// produce byte-identical reports, so the fingerprint keys result caches
+// across CI runs and refuses merges of shards drawn from different
+// sweeps. All fields are length- or newline-delimited, keeping the
+// encoding injective.
 func Fingerprint(spec *Spec, registry string, seeds, window int, baseSeed uint64, sampleN int, sampleSeed uint64) string {
 	if sampleN <= 0 {
 		sampleN, sampleSeed = 0, 0
 	}
+	spec = spec.Canonical()
 	h := uint64(offset64)
 	h = fnv1aLine(h, fmt.Sprintf("spec=%d:%s", len(spec.Name), spec.Name))
 	h = fnv1aLine(h, fmt.Sprintf("registry=%d:%s", len(registry), registry))
+	for bi, b := range spec.Blocks {
+		h = fnv1aLine(h, fmt.Sprintf("block=%d", bi))
+		for _, ax := range b.Axes {
+			h = fnv1aLine(h, fmt.Sprintf("axis=%d:%s", len(ax.Name), ax.Name))
+			for _, v := range ax.Values {
+				h = fnv1aLine(h, fmt.Sprintf("value=%d:%s", len(v), v))
+			}
+		}
+	}
 	for _, ax := range spec.Axes {
 		h = fnv1aLine(h, fmt.Sprintf("axis=%d:%s", len(ax.Name), ax.Name))
 		for _, v := range ax.Values {
