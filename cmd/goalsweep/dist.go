@@ -11,10 +11,30 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/scenario"
 )
+
+// chaosInjector builds the seeded fault injector for a -chaos flag, or
+// nil when the flag is empty. The spec string and seed fully determine
+// the fault schedule, so a run is reproduced by repeating both.
+func chaosInjector(spec string, seed uint64, events *obs.Logger) (*chaos.Injector, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	cs, err := chaos.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	inj, err := chaos.New(cs, seed)
+	if err != nil {
+		return nil, err
+	}
+	inj.Events = events
+	return inj, nil
+}
 
 // parseShards resolves a -shards value: "auto" means the coordinator
 // sizes the partition itself (from fleet size and observed shard
@@ -71,6 +91,10 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) (ret
 		benchPath    = fs.String("bench", "", "also write a throughput artifact (JSON with timings and the worker count) to this file; skipped with a warning if workers served trials from a warm cache")
 		dashboard    = fs.Bool("dashboard", false, "serve a live HTML dashboard at / that polls /status and /metrics")
 		benchHistory = fs.String("bench-history", "", "bench-history.jsonl file to serve at /bench-history for the dashboard's trajectory charts (requires -dashboard)")
+		maxInflight  = fs.Int("max-inflight-leases", 0, "shed lease requests with 429 + Retry-After beyond this many concurrently served ones (0 = default bound, negative = unbounded)")
+		speculate    = fs.Duration("speculate-after", 0, "re-lease a straggling shard to a second worker once its lease is this old (0 = only after the full lease timeout); safe because shards are deterministic and the first submit wins")
+		chaosSpec    = fs.String("chaos", "", "inject accept-side faults from this schedule, e.g. \"adrop=2,adelay=3:20ms\" (see goalsweep chaostest)")
+		chaosSeed    = fs.Uint64("chaosseed", 1, "seed for the -chaos fault schedule; same spec + seed reproduces the same faults")
 		verbose      = fs.Bool("v", false, "log every lease/submit lifecycle event to stderr (default: warnings only)")
 		cpuProfile   = fs.String("cpuprofile", "", "refused: profile a local goalsweep run instead")
 		memProfile   = fs.String("memprofile", "", "refused: profile a local goalsweep run instead")
@@ -105,10 +129,13 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) (ret
 		if *jsonOut || *csvOut || *outPath != "" || *benchPath != "" {
 			return fmt.Errorf("serve -service writes no report: render a job with `goalsweep watch`")
 		}
+		events := eventLogger(stderr, *verbose)
 		coord, err := dist.NewService(dist.CoordinatorConfig{
-			LeaseTTL: *leaseTimeout,
-			Events:   eventLogger(stderr, *verbose),
-			StateDir: *stateDir,
+			LeaseTTL:          *leaseTimeout,
+			Events:            events,
+			StateDir:          *stateDir,
+			MaxInflightLeases: *maxInflight,
+			SpeculateAfter:    *speculate,
 		})
 		if err != nil {
 			return err
@@ -116,6 +143,13 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) (ret
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			return err
+		}
+		inj, err := chaosInjector(*chaosSpec, *chaosSeed, events)
+		if err != nil {
+			return err
+		}
+		if inj != nil {
+			ln = inj.Listener(ln)
 		}
 		// Same handshake shape as batch serve: scripts scrape the URL
 		// after "at ".
@@ -147,10 +181,13 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) (ret
 	if err != nil {
 		return err
 	}
+	events := eventLogger(stderr, *verbose)
 	coord, err := dist.NewCoordinator(plan, dist.CoordinatorConfig{
-		LeaseTTL: *leaseTimeout,
-		Events:   eventLogger(stderr, *verbose),
-		StateDir: *stateDir,
+		LeaseTTL:          *leaseTimeout,
+		Events:            events,
+		StateDir:          *stateDir,
+		MaxInflightLeases: *maxInflight,
+		SpeculateAfter:    *speculate,
 	})
 	if err != nil {
 		return err
@@ -158,6 +195,13 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) (ret
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
+	}
+	inj, err := chaosInjector(*chaosSpec, *chaosSeed, events)
+	if err != nil {
+		return err
+	}
+	if inj != nil {
+		ln = inj.Listener(ln)
 	}
 	// The serving line is the startup handshake for scripts (and tests):
 	// it carries the resolved address when the port was 0.
@@ -241,6 +285,8 @@ func runWork(ctx context.Context, args []string, stdout, stderr io.Writer) error
 		id          = fs.String("id", "", "worker name in coordinator accounting (default derived from the process ID)")
 		job         = fs.String("job", "", "work only this job's shards and exit when it completes (default: fair-share across the whole queue)")
 		exitIdle    = fs.Bool("exit-when-idle", false, "exit when a service coordinator reports no open work instead of polling for new jobs")
+		chaosSpec   = fs.String("chaos", "", "inject request-side faults from this schedule, e.g. \"drop=2,delay=3:20ms,dup=1,trunc=1,err=2\" (see goalsweep chaostest)")
+		chaosSeed   = fs.Uint64("chaosseed", 1, "seed for the -chaos fault schedule; same spec + seed reproduces the same faults")
 		verbose     = fs.Bool("v", false, "log every lease/shard lifecycle event to stderr (default: warnings only)")
 		cpuProfile  = fs.String("cpuprofile", "", "refused: profile a local goalsweep run instead")
 		memProfile  = fs.String("memprofile", "", "refused: profile a local goalsweep run instead")
@@ -258,6 +304,7 @@ func runWork(ctx context.Context, args []string, stdout, stderr io.Writer) error
 	if *coordinator == "" {
 		return fmt.Errorf("work needs -coordinator URL (the address goalsweep serve printed)")
 	}
+	events := eventLogger(stderr, *verbose)
 	w := &dist.Worker{
 		Coordinator: strings.TrimRight(*coordinator, "/"),
 		Parallel:    *parallel,
@@ -265,7 +312,17 @@ func runWork(ctx context.Context, args []string, stdout, stderr io.Writer) error
 		ID:          *id,
 		Job:         *job,
 		ExitOnIdle:  *exitIdle,
-		Events:      eventLogger(stderr, *verbose),
+		Events:      events,
+	}
+	inj, err := chaosInjector(*chaosSpec, *chaosSeed, events)
+	if err != nil {
+		return err
+	}
+	if inj != nil {
+		// Faults ride the worker's own HTTP client, between the retry loop
+		// and the wire: every injected drop/delay/dup/truncation/5xx
+		// exercises the worker's classifier and backoff for real.
+		w.Client = inj.Client(nil)
 	}
 	if *cacheDir != "" {
 		cache, err := scenario.OpenCache(*cacheDir)

@@ -118,6 +118,8 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (retEr
 			return runSubmit(ctx, args[1:], stdout, stderr)
 		case "watch":
 			return runWatch(ctx, args[1:], stdout, stderr)
+		case "chaostest":
+			return runChaostest(ctx, args[1:], stdout, stderr)
 		}
 	}
 	fs := flag.NewFlagSet("goalsweep", flag.ContinueOnError)

@@ -103,7 +103,14 @@ func runWatch(ctx context.Context, args []string, stdout, stderr io.Writer) (ret
 
 	var sweepShards []*scenario.ShardResult
 	start := time.Now()
-	err := dist.NewClient(*coordinator, nil).Events(ctx, jobID, func(ev dist.SweepEvent) error {
+	// FollowEvents survives dropped streams: it re-subscribes with capped
+	// backoff and replays from the start, deduplicating shard frames by
+	// ID, so a mid-sweep network blip costs a reconnect, not the report.
+	opt := dist.FollowOptions{OnRetry: func(err error, wait time.Duration) {
+		fmt.Fprintf(stderr, "goalsweep: job %s: event stream dropped (%v), reconnecting in %v\n",
+			jobID, err, wait)
+	}}
+	err := dist.NewClient(*coordinator, nil).FollowEvents(ctx, jobID, opt, func(ev dist.SweepEvent) error {
 		if ev.Type != dist.EventShard {
 			return nil
 		}

@@ -5,13 +5,23 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/scenario"
 )
+
+// DefaultCallTimeout bounds each non-streaming client call when neither
+// the caller's context nor Client.Timeout says otherwise. Every call it
+// covers is either idempotent or retried by a classifier that treats a
+// deadline as a transport failure, so a timeout can only delay work,
+// never lose it.
+const DefaultCallTimeout = 30 * time.Second
 
 // Client speaks the coordinator's /v1 resource API. Both the Worker and
 // the `goalsweep submit`/`watch` CLI verbs are built on it, and because
@@ -22,6 +32,11 @@ type Client struct {
 	BaseURL string
 	// HTTP issues the requests; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Timeout bounds each non-streaming call when the caller's context
+	// carries no deadline of its own; 0 means DefaultCallTimeout,
+	// negative disables the bound. Event streams are exempt — they live
+	// as long as the job.
+	Timeout time.Duration
 }
 
 // NewClient builds a client for the coordinator at base; hc nil means
@@ -37,19 +52,87 @@ func (cl *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// TransportError marks a failure to reach the coordinator at all (as
-// opposed to a coordinator that answered with a refusal). Callers use it
-// to decide what is retryable: a connection refused during coordinator
-// startup is, a 409 fingerprint conflict is not.
+// TransportError marks a failure to reach the coordinator, or to read a
+// whole answer from it (a truncated response is indistinguishable from a
+// connection cut mid-reply). Callers use it to decide what is retryable:
+// a connection refused during coordinator startup is, a 409 fingerprint
+// conflict is not.
 type TransportError struct{ Err error }
 
 func (e *TransportError) Error() string { return e.Err.Error() }
 func (e *TransportError) Unwrap() error { return e.Err }
 
+// RefusedError is a coordinator that answered — with a non-2xx status.
+// Code tells the retry classifier whether the refusal is a permanent
+// verdict (4xx protocol violations) or a transient condition (429
+// overload shed, 5xx), and RetryAfter carries the coordinator's parsed
+// Retry-After hint when it sent one (0 otherwise).
+type RefusedError struct {
+	Op         string
+	Code       int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *RefusedError) Error() string {
+	return fmt.Sprintf("dist: %s: coordinator answered %d: %s", e.Op, e.Code, e.Msg)
+}
+
+// Retryable reports whether an error from a Client call is worth
+// retrying: transport failures (unreachable coordinator, cut or
+// truncated responses) and transient refusals (429 overload sheds, 502/
+// 503/504) are; everything else — fingerprint conflicts, unknown leases,
+// protocol mismatches — is a verdict that a retry cannot change.
+func Retryable(err error) bool {
+	var te *TransportError
+	if errors.As(err, &te) {
+		return true
+	}
+	var re *RefusedError
+	if errors.As(err, &re) {
+		switch re.Code {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+	}
+	return false
+}
+
+// RetryAfterHint extracts the coordinator's Retry-After wish from an
+// error, 0 when it carried none. Retry loops use it as a floor under
+// their own backoff.
+func RetryAfterHint(err error) time.Duration {
+	var re *RefusedError
+	if errors.As(err, &re) {
+		return re.RetryAfter
+	}
+	return 0
+}
+
+// callCtx applies the client's per-call deadline: the caller's own
+// deadline always wins, and a negative Timeout disables the default.
+func (cl *Client) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if cl.Timeout < 0 {
+		return ctx, func() {}
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	d := cl.Timeout
+	if d == 0 {
+		d = DefaultCallTimeout
+	}
+	return context.WithTimeout(ctx, d)
+}
+
 // do issues one request and decodes the JSON response into out (skipped
-// when out is nil). Non-2xx responses become errors carrying the
-// coordinator's message; transport failures come back as *TransportError.
+// when out is nil). Non-2xx responses become *RefusedError carrying the
+// coordinator's message; transport failures and short reads come back as
+// *TransportError.
 func (cl *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	ctx, cancel := cl.callCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, method, cl.BaseURL+path, body)
 	if err != nil {
 		return err
@@ -69,7 +152,9 @@ func (cl *Client) do(ctx context.Context, method, path string, body io.Reader, o
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("dist: decode %s response: %w", path, err)
+		// A response that stops mid-JSON is a cut or truncated wire, not
+		// a coordinator verdict: classify it retryable.
+		return &TransportError{Err: fmt.Errorf("dist: decode %s response: %w", path, err)}
 	}
 	return nil
 }
@@ -168,10 +253,17 @@ type SweepEvent struct {
 	Data []byte
 }
 
+// errStreamEnded marks an event stream that died before EventComplete —
+// a dropped connection, a restarted coordinator. FollowEvents treats it
+// as retryable.
+var errStreamEnded = errors.New("event stream ended before the job completed")
+
 // Events subscribes to one job's stream (GET /v1/sweeps/{id}/events) and
 // calls fn for every frame until the stream ends (after EventComplete),
 // fn returns an error, or the context ends. A nil return means the
-// stream completed.
+// stream completed. A single subscription dies with its connection;
+// FollowEvents is the resilient variant. Deliberately exempt from the
+// client's per-call deadline: the stream lives as long as the job.
 func (cl *Client) Events(ctx context.Context, id string, fn func(SweepEvent) error) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.BaseURL+"/v1/sweeps/"+id+"/events", nil)
 	if err != nil {
@@ -215,12 +307,107 @@ func (cl *Client) Events(ctx context.Context, id string, fn func(SweepEvent) err
 	if err := sc.Err(); err != nil {
 		return &TransportError{Err: err}
 	}
-	return fmt.Errorf("dist: event stream for %s ended before the job completed", id)
+	return fmt.Errorf("dist: job %s: %w", id, errStreamEnded)
 }
 
-// httpError folds a non-2xx response into an error carrying the
-// coordinator's message.
+// FollowOptions tunes FollowEvents' reconnect behavior. The zero value
+// is a working configuration.
+type FollowOptions struct {
+	// Retries bounds consecutive reconnect attempts that yield no new
+	// frame before FollowEvents gives up; 0 means 10. Any received frame
+	// resets the count.
+	Retries int
+	// Backoff is the base reconnect delay, doubled per consecutive
+	// failure up to 32x; 0 means 250ms.
+	Backoff time.Duration
+	// OnRetry, when non-nil, is told about each reconnect before the
+	// wait — the CLI surfaces it on stderr.
+	OnRetry func(err error, wait time.Duration)
+}
+
+// callbackError tags an error as coming from the caller's fn rather
+// than the stream, so FollowEvents never retries it.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return e.err.Error() }
+func (e *callbackError) Unwrap() error { return e.err }
+
+// FollowEvents is Events with reconnection: a dropped stream is
+// re-subscribed with capped exponential backoff, and because the
+// coordinator replays completed shards in index order on every
+// subscription, frames already delivered to fn are deduplicated by
+// their shard index — fn sees each shard exactly once regardless of how
+// many times the connection died. fn errors and non-retryable refusals
+// (an unknown job, a protocol mismatch) end the watch immediately.
+func (cl *Client) FollowEvents(ctx context.Context, id string, opt FollowOptions, fn func(SweepEvent) error) error {
+	retries := opt.Retries
+	if retries <= 0 {
+		retries = 10
+	}
+	base := opt.Backoff
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	seen := make(map[string]bool)
+	failures := 0
+	for {
+		progressed := false
+		err := cl.Events(ctx, id, func(ev SweepEvent) error {
+			progressed = true
+			if ev.Type == EventShard {
+				if seen[ev.ID] {
+					return nil
+				}
+				seen[ev.ID] = true
+			}
+			if err := fn(ev); err != nil {
+				return &callbackError{err: err}
+			}
+			return nil
+		})
+		if err == nil {
+			return nil
+		}
+		var cbe *callbackError
+		if errors.As(err, &cbe) {
+			return cbe.err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if !Retryable(err) && !errors.Is(err, errStreamEnded) {
+			return err
+		}
+		if progressed {
+			failures = 0
+		}
+		failures++
+		if failures > retries {
+			return fmt.Errorf("dist: event stream for %s failed %d consecutive times, giving up: %w", id, failures, err)
+		}
+		wait := base << min(failures-1, 5)
+		if hint := RetryAfterHint(err); hint > wait {
+			wait = hint
+		}
+		if opt.OnRetry != nil {
+			opt.OnRetry(err, wait)
+		}
+		mEventReconnects.Inc()
+		if serr := sleep(ctx, wait); serr != nil {
+			return err
+		}
+	}
+}
+
+// httpError folds a non-2xx response into a *RefusedError carrying the
+// coordinator's message and its Retry-After hint, if any.
 func httpError(op string, resp *http.Response) error {
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	return fmt.Errorf("dist: %s: coordinator answered %s: %s", op, resp.Status, bytes.TrimSpace(msg))
+	e := &RefusedError{Op: op, Code: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
 }

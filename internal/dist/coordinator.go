@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -39,8 +40,25 @@ type CoordinatorConfig struct {
 	// StateDir, when non-empty, is where the coordinator persists each
 	// job's plan and accepted shard envelopes. A coordinator restarted
 	// over the same directory resumes every job, re-queueing only the
-	// shards whose envelopes are missing or invalid.
+	// shards whose envelopes are missing or invalid; corrupt or
+	// mismatched artifacts are healed (removed or rewritten) rather than
+	// left to fail every future restart.
 	StateDir string
+
+	// MaxInflightLeases bounds lease requests processed concurrently;
+	// excess requests are shed with 429 + Retry-After instead of queueing
+	// on the state mutex, so an overloaded coordinator stays responsive
+	// to renews and submits. 0 means 1024; negative disables shedding.
+	MaxInflightLeases int
+
+	// SpeculateAfter enables speculative re-leasing of straggler shards:
+	// when a worker asks for work, finds none open, and some shard's
+	// primary lease is older than this (but unexpired — the holder may
+	// well be alive, just slow), the shard is leased a second time.
+	// Determinism makes the race safe: whichever copy submits first is
+	// accepted and the other is acknowledged as a duplicate. 0 disables
+	// speculation.
+	SpeculateAfter time.Duration
 }
 
 // Coordinator is a multi-tenant sweep service: a queue of jobs (each one
@@ -55,13 +73,17 @@ type CoordinatorConfig struct {
 // told to exit once it completes — `goalsweep serve`'s one-shot mode.
 // NewService builds the unsealed, long-lived variant.
 type Coordinator struct {
-	leaseTTL time.Duration
-	now      func() time.Time
-	events   *obs.Logger
-	registry *scenario.Registry
-	stateDir string
-	sealed   bool
-	mux      *http.ServeMux
+	leaseTTL    time.Duration
+	now         func() time.Time
+	events      *obs.Logger
+	registry    *scenario.Registry
+	stateDir    string
+	sealed      bool
+	maxInflight int
+	speculate   time.Duration
+	mux         *http.ServeMux
+
+	inflightLeases atomic.Int64
 
 	mu        sync.Mutex
 	jobs      map[string]*job // job ID -> job
@@ -82,11 +104,12 @@ type Coordinator struct {
 // leaseInfo records who holds (or held) a lease on which shard of which
 // job.
 type leaseInfo struct {
-	job      *job
-	shard    int // 1-based
-	worker   string
-	parallel int
-	granted  time.Time // when the lease was issued, for shard latency
+	job         *job
+	shard       int // 1-based
+	worker      string
+	parallel    int
+	granted     time.Time // when the lease was issued, for shard latency
+	speculative bool      // a straggler-shard re-lease, not the primary
 }
 
 // workerInfo is the coordinator's live view of one worker. Workers are
@@ -138,17 +161,19 @@ func NewService(cfg CoordinatorConfig) (*Coordinator, error) {
 
 func newCoordinator(cfg CoordinatorConfig) *Coordinator {
 	c := &Coordinator{
-		leaseTTL:  cfg.LeaseTTL,
-		now:       cfg.Now,
-		events:    cfg.Events,
-		registry:  cfg.Registry,
-		stateDir:  cfg.StateDir,
-		jobs:      make(map[string]*job),
-		cursor:    -1,
-		leases:    make(map[string]leaseInfo),
-		workers:   make(map[string]*workerInfo),
-		undrained: make(map[string]bool),
-		drained:   make(chan struct{}),
+		leaseTTL:    cfg.LeaseTTL,
+		now:         cfg.Now,
+		events:      cfg.Events,
+		registry:    cfg.Registry,
+		stateDir:    cfg.StateDir,
+		maxInflight: cfg.MaxInflightLeases,
+		speculate:   cfg.SpeculateAfter,
+		jobs:        make(map[string]*job),
+		cursor:      -1,
+		leases:      make(map[string]leaseInfo),
+		workers:     make(map[string]*workerInfo),
+		undrained:   make(map[string]bool),
+		drained:     make(chan struct{}),
 	}
 	if c.leaseTTL <= 0 {
 		c.leaseTTL = 2 * time.Minute
@@ -159,24 +184,60 @@ func newCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if c.registry == nil {
 		c.registry = scenario.Builtin()
 	}
+	if c.maxInflight == 0 {
+		c.maxInflight = 1024
+	}
+	if c.speculate < 0 {
+		c.speculate = 0
+	}
 	c.mux = http.NewServeMux()
 	// Versioned resource surface.
 	c.mux.HandleFunc("POST /v1/sweeps", c.handleCreateSweep)
 	c.mux.HandleFunc("GET /v1/sweeps", c.handleListSweeps)
 	c.mux.HandleFunc("GET /v1/sweeps/{id}", c.handleGetSweep)
 	c.mux.HandleFunc("GET /v1/sweeps/{id}/events", c.handleEvents)
-	c.mux.HandleFunc("POST /v1/sweeps/{id}/leases", c.handleLeaseScoped)
-	c.mux.HandleFunc("POST /v1/leases", c.handleLeaseGlobal)
+	c.mux.HandleFunc("POST /v1/sweeps/{id}/leases", c.shedLease(c.handleLeaseScoped))
+	c.mux.HandleFunc("POST /v1/leases", c.shedLease(c.handleLeaseGlobal))
 	c.mux.HandleFunc("POST /v1/leases/{lease}/renew", c.handleRenewV1)
 	c.mux.HandleFunc("POST /v1/leases/{lease}/result", c.handleResultV1)
 	// Legacy single-sweep shim, kept for one release: routed to the
 	// default (first-submitted) job.
-	c.mux.HandleFunc("POST /lease", c.handleLeaseLegacy)
+	c.mux.HandleFunc("POST /lease", c.shedLease(c.handleLeaseLegacy))
 	c.mux.HandleFunc("POST /renew", c.handleRenewLegacy)
 	c.mux.HandleFunc("POST /submit", c.handleSubmitLegacy)
 	c.mux.HandleFunc("GET /status", c.handleStatus)
 	c.mux.HandleFunc("GET /metrics", handleMetrics)
 	return c
+}
+
+// shedLease bounds concurrently-processing lease requests. Past the
+// bound, the coordinator answers 429 + Retry-After immediately instead
+// of letting a thundering herd of pollers pile up on the state mutex
+// and starve renews and submits — the client's retry classifier treats
+// the shed as retryable and backs off with the hint as a floor. Renews
+// and submits are deliberately unshedded: dropping them costs real work
+// (expired leases, re-executed shards), while a shed poll costs one
+// backoff wait.
+func (c *Coordinator) shedLease(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if c.maxInflight < 0 {
+			h(w, r)
+			return
+		}
+		if n := c.inflightLeases.Add(1); n > int64(c.maxInflight) {
+			c.inflightLeases.Add(-1)
+			mLeaseSheds.Inc()
+			c.events.Event(obs.LevelWarn, "lease.shed",
+				obs.Int64("inflight", n-1),
+				obs.Int("max", c.maxInflight))
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, fmt.Sprintf("dist: coordinator overloaded: %d lease requests in flight", n-1),
+				http.StatusTooManyRequests)
+			return
+		}
+		defer c.inflightLeases.Add(-1)
+		h(w, r)
+	}
 }
 
 // handleMetrics serves the process-wide metric registry in Prometheus
@@ -487,7 +548,8 @@ func (c *Coordinator) jobStatusLocked(j *job, withShards bool) JobStatus {
 		case j.shards[i].done:
 			js.Done++
 			ss.State = "done"
-		case j.shards[i].leaseID != "" && now.Before(j.shards[i].expires):
+		case j.shards[i].leaseID != "" && now.Before(j.shards[i].expires),
+			j.shards[i].specLeaseID != "" && now.Before(j.shards[i].specExpires):
 			js.Leased++
 			ss.State = "leased"
 		default:
@@ -641,9 +703,11 @@ func (c *Coordinator) leaseLocked(req LeaseRequest, jobScope string, legacy bool
 }
 
 // tryGrantLocked leases the lowest open (or expired-lease) shard of one
-// job to the asking worker, or returns nil if every shard is done or
-// live-leased. Called with c.mu held. The embedded *Plan is immutable
-// after construction, so sharing the pointer outside the lock is safe.
+// job to the asking worker; with no such shard and speculation enabled,
+// it speculatively re-leases the oldest straggler shard instead. It
+// returns nil if nothing is grantable. Called with c.mu held. The
+// embedded *Plan is immutable after construction, so sharing the
+// pointer outside the lock is safe.
 func (c *Coordinator) tryGrantLocked(j *job, req LeaseRequest) *LeaseResponse {
 	now := c.now()
 	for i := range j.shards {
@@ -670,17 +734,78 @@ func (c *Coordinator) tryGrantLocked(j *job, req LeaseRequest) *LeaseResponse {
 			obs.String("worker", req.Worker),
 			obs.Int64("ttlMs", c.leaseTTL.Milliseconds()),
 			obs.String("job", j.id))
-		return &LeaseResponse{
-			Protocol: ProtocolVersion,
-			Status:   StatusLease,
-			LeaseID:  st.leaseID,
-			Job:      j.id,
-			Shard:    scenario.Shard{Index: i + 1, Count: j.plan.Shards},
-			Plan:     &j.plan,
-			TTLMs:    c.leaseTTL.Milliseconds(),
+		return c.leaseResponseLocked(j, i+1, st.leaseID)
+	}
+	return c.trySpeculateLocked(j, req, now)
+}
+
+// trySpeculateLocked re-leases a straggler shard before its primary
+// lease expires: every shard is live-leased, the asking worker would
+// otherwise idle, and a shard whose primary lease is older than the
+// speculation threshold may well be held by a worker that is slow (or
+// quietly dead but still renewing its way through a wedged sweep).
+// Rather than waste the idle worker, race it: determinism makes both
+// copies byte-identical, first-accept idempotency makes the race safe,
+// and the loser's submit is acknowledged as a duplicate. At most one
+// speculative lease per shard is live at a time, the oldest primary is
+// speculated first, and a worker never races itself. Called with c.mu
+// held.
+func (c *Coordinator) trySpeculateLocked(j *job, req LeaseRequest, now time.Time) *LeaseResponse {
+	if c.speculate <= 0 {
+		return nil
+	}
+	best := -1
+	var bestGranted time.Time
+	for i := range j.shards {
+		st := &j.shards[i]
+		if st.done || st.leaseID == "" || !now.Before(st.expires) {
+			continue // open or expired shards belong to the primary pass
+		}
+		if st.specLeaseID != "" && now.Before(st.specExpires) {
+			continue // already racing
+		}
+		li := c.leases[st.leaseID]
+		if li.worker != "" && li.worker == req.Worker {
+			continue // don't race yourself
+		}
+		if now.Sub(li.granted) < c.speculate {
+			continue // not a straggler yet
+		}
+		if best == -1 || li.granted.Before(bestGranted) {
+			best, bestGranted = i, li.granted
 		}
 	}
-	return nil
+	if best == -1 {
+		return nil
+	}
+	st := &j.shards[best]
+	c.nextID++
+	st.specLeaseID = fmt.Sprintf("lease-%d", c.nextID)
+	st.specExpires = now.Add(c.leaseTTL)
+	c.leases[st.specLeaseID] = leaseInfo{job: j, shard: best + 1, worker: req.Worker, parallel: req.Parallel,
+		granted: now, speculative: true}
+	mLeasesSpeculated.With(j.id).Inc()
+	c.events.Event(obs.LevelWarn, "lease.speculate",
+		obs.String("lease", st.specLeaseID),
+		obs.String("primary", st.leaseID),
+		obs.String("shard", scenario.Shard{Index: best + 1, Count: j.plan.Shards}.String()),
+		obs.String("worker", req.Worker),
+		obs.Dur("primaryAge", now.Sub(bestGranted)),
+		obs.String("job", j.id))
+	return c.leaseResponseLocked(j, best+1, st.specLeaseID)
+}
+
+// leaseResponseLocked shapes the grant answer for one shard lease.
+func (c *Coordinator) leaseResponseLocked(j *job, shard int, leaseID string) *LeaseResponse {
+	return &LeaseResponse{
+		Protocol: ProtocolVersion,
+		Status:   StatusLease,
+		LeaseID:  leaseID,
+		Job:      j.id,
+		Shard:    scenario.Shard{Index: shard, Count: j.plan.Shards},
+		Plan:     &j.plan,
+		TTLMs:    c.leaseTTL.Milliseconds(),
+	}
 }
 
 // handleRenewLegacy extends a live lease via the legacy query-param
@@ -720,11 +845,17 @@ func (c *Coordinator) renewLocked(leaseID string) (RenewResponse, *httpErr) {
 		return RenewResponse{}, &httpErr{http.StatusNotFound, fmt.Sprintf("dist: unknown lease %q", leaseID)}
 	}
 	st := &li.job.shards[li.shard-1]
-	if st.done || st.leaseID != leaseID {
+	switch {
+	case st.done:
+		return RenewResponse{Renewed: false}, nil
+	case st.leaseID == leaseID:
+		st.expires = c.now().Add(c.leaseTTL)
+	case st.specLeaseID == leaseID:
+		st.specExpires = c.now().Add(c.leaseTTL)
+	default:
 		return RenewResponse{Renewed: false}, nil
 	}
 	c.sawWorkerLocked(li.worker, li.parallel)
-	st.expires = c.now().Add(c.leaseTTL)
 	mLeasesRenewed.Inc()
 	c.events.Event(obs.LevelDebug, "lease.renew",
 		obs.String("lease", leaseID),

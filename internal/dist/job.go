@@ -23,10 +23,18 @@ func JobID(plan Plan) string {
 }
 
 // shardState is the coordinator's bookkeeping for one shard of one job.
+// A shard can carry two live leases at once: the primary, and — when the
+// primary has aged past the coordinator's speculation threshold without
+// expiring — one speculative re-lease racing it. Determinism makes the
+// race safe: both copies produce identical bytes and the first submit
+// wins.
 type shardState struct {
 	done    bool
-	leaseID string    // current lease, "" if never leased
-	expires time.Time // current lease's deadline
+	leaseID string    // current primary lease, "" if never leased
+	expires time.Time // primary lease's deadline
+
+	specLeaseID string    // speculative straggler re-lease, "" if none
+	specExpires time.Time // speculative lease's deadline
 }
 
 // job is one queued sweep: a plan, its shard states, the collected
@@ -77,6 +85,9 @@ func shardFile(idx int) string { return fmt.Sprintf("%s%d.json", shardFilePrefix
 // persistPlanLocked writes the job's plan under the state directory so a
 // restarted coordinator can rebuild the queue. Atomic (temp + rename) so
 // a crash mid-write never leaves a half plan for recovery to trip on.
+// An existing plan file is kept only if it still decodes to this job —
+// a truncated or corrupt one (torn disk, partial copy) is rewritten, so
+// one bad write can never permanently poison the job's state directory.
 func (c *Coordinator) persistPlanLocked(j *job) {
 	if c.stateDir == "" {
 		return
@@ -88,8 +99,15 @@ func (c *Coordinator) persistPlanLocked(j *job) {
 		return
 	}
 	path := filepath.Join(dir, jobPlanFile)
-	if _, err := os.Stat(path); err == nil {
-		return // already persisted by an earlier submit or run
+	if data, err := os.ReadFile(path); err == nil {
+		var existing Plan
+		if decodeJSONStrict(data, &existing) == nil && existing.Validate() == nil && JobID(existing) == j.id {
+			return // already persisted intact by an earlier submit or run
+		}
+		mStateHealed.With("plan").Inc()
+		c.events.Event(obs.LevelWarn, "state.heal",
+			obs.String("job", j.id), obs.String("kind", "plan"),
+			obs.String("detail", "corrupt plan file rewritten"))
 	}
 	var buf bytes.Buffer
 	if err := writeJSONIndent(&buf, &j.plan); err != nil {
@@ -132,10 +150,12 @@ func (c *Coordinator) persistShardLocked(j *job, sr *scenario.ShardResult) {
 // envelopes and marks the valid ones done, so a restarted coordinator
 // re-queues only the missing shards. Every envelope revalidates through
 // ReadShardResult plus the fingerprint and shard-coordinate checks a live
-// submit would pass; anything corrupt or foreign is skipped (and will
-// simply re-execute). Resumed shards carry no executed/mallocs counts, so
-// the job's accounting turns unknown — a bench artifact over a resumed
-// job would lie.
+// submit would pass; anything corrupt, truncated or foreign is healed —
+// the bad file is removed, the shard re-queues, and the re-executed
+// envelope overwrites it — instead of being left to trip every future
+// restart. Resumed shards carry no executed/mallocs counts, so the job's
+// accounting turns unknown — a bench artifact over a resumed job would
+// lie.
 func (c *Coordinator) resumeShardsLocked(j *job) {
 	if c.stateDir == "" {
 		return
@@ -145,21 +165,19 @@ func (c *Coordinator) resumeShardsLocked(j *job) {
 		if j.results[idx] != nil {
 			continue
 		}
-		f, err := os.Open(filepath.Join(dir, shardFile(idx)))
+		path := filepath.Join(dir, shardFile(idx))
+		f, err := os.Open(path)
 		if err != nil {
 			continue // not persisted: the shard is still open
 		}
 		sr, err := scenario.ReadShardResult(f)
 		f.Close()
 		if err != nil {
-			c.events.Event(obs.LevelWarn, "state.resume_skip",
-				obs.String("job", j.id), obs.Int("shard", idx), obs.String("err", err.Error()))
+			c.healEnvelopeLocked(j, idx, path, err.Error())
 			continue
 		}
 		if sr.Fingerprint != j.plan.Fingerprint || sr.Shard.Index != idx || sr.Shard.Count != j.plan.Shards {
-			c.events.Event(obs.LevelWarn, "state.resume_skip",
-				obs.String("job", j.id), obs.Int("shard", idx),
-				obs.String("err", "envelope does not match the job's plan"))
+			c.healEnvelopeLocked(j, idx, path, "envelope does not match the job's plan")
 			continue
 		}
 		j.results[idx] = sr
@@ -179,11 +197,32 @@ func (c *Coordinator) resumeShardsLocked(j *job) {
 	}
 }
 
+// healEnvelopeLocked removes one unusable shard envelope so the shard
+// re-queues cleanly: resume already treats the shard as open, and with
+// the bad file gone, the re-executed worker's envelope lands in its
+// place instead of fighting a corpse on every restart.
+func (c *Coordinator) healEnvelopeLocked(j *job, idx int, path, reason string) {
+	mStateHealed.With("envelope").Inc()
+	detail := "corrupt envelope removed, shard re-queued"
+	if err := os.Remove(path); err != nil {
+		detail = "corrupt envelope could not be removed: " + err.Error()
+	}
+	c.events.Event(obs.LevelWarn, "state.heal",
+		obs.String("job", j.id), obs.Int("shard", idx),
+		obs.String("kind", "envelope"),
+		obs.String("detail", detail),
+		obs.String("err", reason))
+}
+
 // recoverJobsLocked rebuilds the queue from the state directory: every
 // subdirectory with a valid plan whose derived job ID matches its name is
-// resubmitted (which in turn rescans its envelopes). Directory order is
-// lexical, so the queue order after a restart is deterministic even
-// though the original submission order is gone.
+// resubmitted (which in turn rescans its envelopes). A directory whose
+// plan is corrupt or truncated cannot be rebuilt from nothing, so its
+// plan file is quarantined (renamed aside) — the next identical
+// `goalsweep submit` recreates the job and re-persists a clean plan over
+// the same directory, resuming whatever envelopes survived. Directory
+// order is lexical, so the queue order after a restart is deterministic
+// even though the original submission order is gone.
 func (c *Coordinator) recoverJobsLocked() error {
 	entries, err := os.ReadDir(c.stateDir)
 	if err != nil {
@@ -196,25 +235,22 @@ func (c *Coordinator) recoverJobsLocked() error {
 		path := filepath.Join(c.stateDir, e.Name(), jobPlanFile)
 		data, err := os.ReadFile(path)
 		if err != nil {
-			c.events.Event(obs.LevelWarn, "state.recover_skip",
-				obs.String("dir", e.Name()), obs.String("err", err.Error()))
+			if !os.IsNotExist(err) {
+				c.quarantinePlanLocked(e.Name(), path, err.Error())
+			}
 			continue
 		}
 		var plan Plan
 		if err := decodeJSONStrict(data, &plan); err != nil {
-			c.events.Event(obs.LevelWarn, "state.recover_skip",
-				obs.String("dir", e.Name()), obs.String("err", err.Error()))
+			c.quarantinePlanLocked(e.Name(), path, err.Error())
 			continue
 		}
 		if err := plan.Validate(); err != nil {
-			c.events.Event(obs.LevelWarn, "state.recover_skip",
-				obs.String("dir", e.Name()), obs.String("err", err.Error()))
+			c.quarantinePlanLocked(e.Name(), path, err.Error())
 			continue
 		}
 		if JobID(plan) != e.Name() {
-			c.events.Event(obs.LevelWarn, "state.recover_skip",
-				obs.String("dir", e.Name()),
-				obs.String("err", "directory name does not match the plan's job ID"))
+			c.quarantinePlanLocked(e.Name(), path, "directory name does not match the plan's job ID")
 			continue
 		}
 		if _, _, err := c.submitPlanLocked(plan); err != nil {
@@ -223,6 +259,21 @@ func (c *Coordinator) recoverJobsLocked() error {
 		}
 	}
 	return nil
+}
+
+// quarantinePlanLocked moves an unusable plan file aside so recovery
+// stops tripping on it and a future resubmission can heal the directory.
+func (c *Coordinator) quarantinePlanLocked(dir, path, reason string) {
+	mStateHealed.With("plan").Inc()
+	detail := "plan quarantined to " + jobPlanFile + ".corrupt"
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		detail = "plan could not be quarantined: " + err.Error()
+	}
+	c.events.Event(obs.LevelWarn, "state.heal",
+		obs.String("dir", dir),
+		obs.String("kind", "plan"),
+		obs.String("detail", detail),
+		obs.String("err", reason))
 }
 
 // ensureDir creates the state directory if it does not exist.

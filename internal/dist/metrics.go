@@ -31,6 +31,13 @@ var (
 	mJobsActive = obs.Default().Gauge("goalsweep_coord_jobs_active",
 		"Queued jobs not yet complete.")
 
+	mLeaseSheds = obs.Default().Counter("goalsweep_coord_lease_sheds_total",
+		"Lease requests shed with 429 + Retry-After because the in-flight bound was reached.")
+	mLeasesSpeculated = obs.Default().CounterVec("goalsweep_coord_leases_speculated_total",
+		"Speculative re-leases of straggler shards granted before the primary lease's TTL expired, by job.", "job")
+	mStateHealed = obs.Default().CounterVec("goalsweep_coord_state_healed_total",
+		"Corrupt or mismatched state-dir artifacts healed during resume (re-queued or rewritten), by kind.", "kind")
+
 	mPollWaits = obs.Default().Counter("goalsweep_worker_poll_waits_total",
 		"Lease polls answered wait or idle (no grantable shard).")
 	mTransportRetries = obs.Default().Counter("goalsweep_worker_transport_retries_total",
@@ -39,4 +46,8 @@ var (
 		"Shards this process's workers executed and submitted.")
 	mComputeSeconds = obs.Default().Histogram("goalsweep_worker_compute_seconds",
 		"Local sweep wall-clock per executed shard.", nil)
+	mRetryBackoff = obs.Default().Histogram("goalsweep_worker_retry_backoff_seconds",
+		"Jittered exponential backoff waits before retried lease/submit attempts.", nil)
+	mEventReconnects = obs.Default().Counter("goalsweep_client_event_reconnects_total",
+		"Dropped job event streams re-subscribed by FollowEvents.")
 )

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"os"
 	"runtime"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/scenario"
+	"repro/internal/xrand"
 )
 
 // workerSeq distinguishes workers created in one process (tests spawn
@@ -60,15 +62,20 @@ type Worker struct {
 	// fleet attached to a long-lived service.
 	ExitOnIdle bool
 
-	// Poll is the backoff between lease attempts while every shard is
-	// claimed elsewhere, and between transport-error retries; 0 means
-	// 500ms.
+	// Poll is the wait between lease attempts while every shard is
+	// claimed elsewhere, and the base of the jittered exponential
+	// backoff between failed lease/submit attempts; 0 means 500ms.
 	Poll time.Duration
 
-	// Retries bounds consecutive failed lease/submit transport attempts
-	// before the worker gives up (a coordinator that is still starting
-	// up, or a transient network failure, should not kill the fleet);
-	// 0 means 20.
+	// MaxBackoff caps the exponential retry backoff; 0 means 16x Poll.
+	MaxBackoff time.Duration
+
+	// Retries bounds consecutive failed lease/submit attempts before the
+	// worker gives up (a coordinator that is still starting up, or a
+	// transient network failure, should not kill the fleet); 0 means 20.
+	// Only retryable failures are retried — transport errors, truncated
+	// responses, 429 overload sheds and 5xx answers; a protocol-level
+	// verdict (fingerprint conflict, version mismatch) is fatal at once.
 	Retries int
 
 	// Events, when non-nil, receives one structured event per shard
@@ -120,6 +127,7 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 	if retries <= 0 {
 		retries = 20
 	}
+	boff := w.newBackoff(poll)
 	completed := 0
 	failures := 0
 	for {
@@ -128,22 +136,29 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return completed, ctxErr
 			}
+			if !w.retryableLease(err) {
+				return completed, err
+			}
 			failures++
 			mTransportRetries.Inc()
 			if failures > retries {
 				return completed, fmt.Errorf("dist: lease failed %d times, giving up: %w", failures, err)
 			}
+			wait := boff.next(RetryAfterHint(err))
+			mRetryBackoff.Observe(wait.Seconds())
 			w.Events.Event(obs.LevelWarn, "lease.retry",
 				obs.String("worker", w.id()),
 				obs.Int("attempt", failures),
 				obs.Int("max", retries),
+				obs.Dur("backoff", wait),
 				obs.String("err", err.Error()))
-			if err := sleep(ctx, poll); err != nil {
+			if err := sleep(ctx, wait); err != nil {
 				return completed, err
 			}
 			continue
 		}
 		failures = 0
+		boff.reset()
 		switch lease.Status {
 		case StatusDone:
 			return completed, nil
@@ -194,6 +209,67 @@ func sleep(ctx context.Context, d time.Duration) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// retryableLease classifies a lease failure. Besides the generic
+// classifier, a job-scoped worker treats 404 as transient: its job may
+// simply not have been submitted yet (fleets often start before the
+// first `goalsweep submit`), and the retry bound still applies.
+func (w *Worker) retryableLease(err error) bool {
+	if Retryable(err) {
+		return true
+	}
+	if w.Job != "" {
+		var re *RefusedError
+		if errors.As(err, &re) && re.Code == http.StatusNotFound {
+			return true
+		}
+	}
+	return false
+}
+
+// retryBackoff produces capped, jittered exponential retry delays: the
+// nth wait is drawn uniformly from [d/2, d) with d = base·2ⁿ clamped to
+// cap, then floored by any Retry-After hint the coordinator sent. The
+// jitter stream is seeded from the worker's name, so a fleet whose
+// workers fail together fans its retries out instead of stampeding the
+// coordinator in lockstep — deterministically per worker, and without
+// touching the sweep's result bytes.
+type retryBackoff struct {
+	base, cap time.Duration
+	rng       *xrand.Rand
+	n         int
+}
+
+func (w *Worker) newBackoff(poll time.Duration) *retryBackoff {
+	cap := w.MaxBackoff
+	if cap <= 0 {
+		cap = 16 * poll
+	}
+	if cap < poll {
+		cap = poll
+	}
+	h := fnv.New64a()
+	h.Write([]byte(w.id()))
+	return &retryBackoff{base: poll, cap: cap, rng: xrand.New(h.Sum64())}
+}
+
+func (b *retryBackoff) reset() { b.n = 0 }
+
+func (b *retryBackoff) next(floor time.Duration) time.Duration {
+	d := b.base
+	for i := 0; i < b.n && d < b.cap; i++ {
+		d *= 2
+	}
+	if d > b.cap {
+		d = b.cap
+	}
+	b.n++
+	d = d/2 + time.Duration(b.rng.Float64()*float64(d/2))
+	if d < floor {
+		d = floor
+	}
+	return d
 }
 
 // startRenewer keeps a lease alive while its shard is computing, renewing
@@ -347,36 +423,42 @@ func (w *Worker) runShard(lease *LeaseResponse) (*scenario.ShardResult, error) {
 	}, nil
 }
 
-// submit pushes the envelope back under its lease, retrying transport
-// failures; protocol-level rejections (4xx/5xx) are fatal. The executed
-// count reports how many trials this shard actually ran (a shared warm
-// cache can make it less than the shard's trial total — that accounting
-// is json:"-" in the envelope, so it travels as a query parameter), and
+// submit pushes the envelope back under its lease, retrying retryable
+// failures (transport errors, truncated responses, overload sheds, 5xx)
+// with jittered exponential backoff; protocol-level verdicts are fatal.
+// Duplicate delivery is safe: the coordinator accepts the first envelope
+// per shard and acknowledges the rest idempotently. The executed count
+// reports how many trials this shard actually ran (a shared warm cache
+// can make it less than the shard's trial total — that accounting is
+// json:"-" in the envelope, so it travels as a query parameter), and
 // mallocs carries the worker's heap-allocation delta the same way; the
 // coordinator sums both to decide whether a throughput artifact would
 // be honest and what allocation count it should carry.
 func (w *Worker) submit(ctx context.Context, leaseID string, sr *scenario.ShardResult, retries int, poll time.Duration) error {
+	boff := w.newBackoff(poll)
 	for attempt := 1; ; attempt++ {
 		ack, err := w.client().SubmitResult(ctx, leaseID, sr, int64(sr.Summary.ExecutedTrials), sr.Mallocs)
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return ctxErr
 			}
-			var te *TransportError
-			if !errors.As(err, &te) {
+			if !Retryable(err) {
 				return err
 			}
 			mTransportRetries.Inc()
 			if attempt > retries {
 				return fmt.Errorf("dist: submit failed %d times, giving up: %w", attempt, err)
 			}
+			wait := boff.next(RetryAfterHint(err))
+			mRetryBackoff.Observe(wait.Seconds())
 			w.Events.Event(obs.LevelWarn, "submit.retry",
 				obs.String("worker", w.id()),
 				obs.String("lease", leaseID),
 				obs.Int("attempt", attempt),
 				obs.Int("max", retries),
+				obs.Dur("backoff", wait),
 				obs.String("err", err.Error()))
-			if err := sleep(ctx, poll); err != nil {
+			if err := sleep(ctx, wait); err != nil {
 				return err
 			}
 			continue
